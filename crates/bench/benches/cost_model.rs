@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the analytical cost model: per-layer
+//! evaluation throughput across dataflows and layer kinds — the inner loop
+//! of every search in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maestro::{CostModel, Dataflow, DesignPoint, Layer};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let model = CostModel::default();
+    let layers = [
+        ("conv3x3", Layer::conv2d("conv", 128, 64, 28, 28, 3, 3, 1).unwrap()),
+        ("dwconv", Layer::depthwise("dw", 192, 28, 28, 3, 3, 1).unwrap()),
+        ("gemm", Layer::gemm("fc", 1024, 128, 2048).unwrap()),
+    ];
+    let point = DesignPoint::new(32, 4).unwrap();
+    let mut group = c.benchmark_group("cost_model_evaluate");
+    for (name, layer) in &layers {
+        for df in Dataflow::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(*name, df.short_name()),
+                &(layer, df),
+                |b, (layer, df)| b.iter(|| model.evaluate(black_box(layer), *df, point)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_whole_model(c: &mut Criterion) {
+    let cost_model = CostModel::default();
+    let point = DesignPoint::new(16, 3).unwrap();
+    let mut group = c.benchmark_group("cost_model_whole_model");
+    for model in [dnn_models::mobilenet_v2(), dnn_models::resnet50()] {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                model
+                    .layers()
+                    .iter()
+                    .map(|l| {
+                        cost_model
+                            .evaluate(black_box(l), Dataflow::NvdlaStyle, point)
+                            .latency_cycles
+                    })
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_whole_model);
+criterion_main!(benches);

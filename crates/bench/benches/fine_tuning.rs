@@ -1,0 +1,30 @@
+//! Criterion benchmark of the second-stage local GA: evaluations per
+//! second on the fine-grained MobileNet-V2 space.
+
+use confuciux::{
+    fine_tune, run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
+    Objective, PlatformClass, SearchBudget,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro::Dataflow;
+
+fn bench_fine_tune(c: &mut Criterion) {
+    let p = HwProblem::builder(dnn_models::mobilenet_v2())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let coarse = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 100 }, 7)
+        .best
+        .expect("feasible coarse solution for the bench seed");
+    let mut group = c.benchmark_group("fine_tuning");
+    group.sample_size(10);
+    group.bench_function("local_ga_200_evals", |b| {
+        b.iter(|| fine_tune(&p, &coarse, 200, 11))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fine_tune);
+criterion_main!(benches);

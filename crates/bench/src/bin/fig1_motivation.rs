@@ -1,0 +1,42 @@
+//! Fig. 1: two HW resource combinations with the same NVDLA-style dataflow
+//! lead to very different latency/energy/area/power on MobileNet-V2.
+
+use confuciux::{format_sci, write_json, ExperimentTable};
+use confuciux_bench::Args;
+use maestro::{CostModel, Dataflow, DesignPoint};
+
+fn main() {
+    let args = Args::parse(0);
+    let model = dnn_models::mobilenet_v2();
+    let cost_model = CostModel::default();
+    let mut table = ExperimentTable::new(
+        "Fig. 1 — two design points, NVDLA-style dataflow, MobileNet-V2",
+        &[
+            "(PE, Buf bytes)",
+            "Latency (cy.)",
+            "Energy (nJ)",
+            "Area (um2)",
+            "Power (mW)",
+        ],
+    );
+    // The paper's two example points: (8 PEs, 19 B) and (16 PEs, 39 B),
+    // i.e. tiles kt = 1 and kt = 3 under the 10kt+9 NVDLA formula.
+    for (pes, kt) in [(8u64, 1u64), (16, 3)] {
+        let point = DesignPoint::new(pes, kt).expect("valid point");
+        let mut total = maestro::CostReport::default();
+        for layer in &model {
+            let r = cost_model.evaluate(layer, Dataflow::NvdlaStyle, point);
+            total = total.merge_sequential(&r);
+        }
+        let buf = Dataflow::NvdlaStyle.l1_bytes(model.layers().last().expect("layers"), kt);
+        table.push_row(vec![
+            format!("({pes}, {buf})"),
+            format_sci(Some(total.latency_cycles)),
+            format_sci(Some(total.energy_nj)),
+            format_sci(Some(total.area_um2)),
+            format!("{:.1}", total.power_mw),
+        ]);
+    }
+    println!("{table}");
+    write_json(&args.out.join("fig1_motivation.json"), &table).expect("write results");
+}

@@ -1,0 +1,80 @@
+//! Fig. 4: the fine-grained hardware design space of three MobileNet-V2
+//! layers (12 = mid CONV, 34 = late CONV, 23 = DWCONV) under NVDLA-style
+//! dataflow: each (PE, tile) point yields a unique latency/energy/area.
+//!
+//! The paper sweeps PEs 1..64 and mapped filters 1..800; we sweep the same
+//! ranges (tiles subsampled geometrically) and report the spread.
+
+use confuciux::{format_sci, write_json, ExperimentTable};
+use confuciux_bench::Args;
+use maestro::{CostModel, Dataflow, DesignPoint};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    pes: u64,
+    tile: u64,
+    l1_bytes: f64,
+    latency: f64,
+    energy: f64,
+    area: f64,
+}
+
+fn main() {
+    let args = Args::parse(0);
+    let model = dnn_models::mobilenet_v2();
+    let cost_model = CostModel::default();
+    // Paper layer numbering is 1-based.
+    let layer_ids = [12usize, 34, 23];
+    let tiles: Vec<u64> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 200, 400, 800];
+    let mut all: Vec<(String, Vec<Point>)> = Vec::new();
+    let mut table = ExperimentTable::new(
+        "Fig. 4 — design-space spread per layer (NVDLA-style, PE 1..64, filters 1..800)",
+        &[
+            "Layer",
+            "Kind",
+            "Points",
+            "Latency min..max (cy.)",
+            "Energy min..max (nJ)",
+            "Area min..max (um2)",
+        ],
+    );
+    for &lid in &layer_ids {
+        let layer = &model.layers()[lid - 1];
+        let mut points = Vec::new();
+        for pes in 1..=64u64 {
+            for &tile in &tiles {
+                let point = DesignPoint::new(pes, tile).expect("valid");
+                let r = cost_model.evaluate(layer, Dataflow::NvdlaStyle, point);
+                points.push(Point {
+                    pes,
+                    tile,
+                    l1_bytes: r.l1_bytes_per_pe,
+                    latency: r.latency_cycles,
+                    energy: r.energy_nj,
+                    area: r.area_um2,
+                });
+            }
+        }
+        let min_max = |f: fn(&Point) -> f64| {
+            let lo = points.iter().map(f).fold(f64::MAX, f64::min);
+            let hi = points.iter().map(f).fold(f64::MIN, f64::max);
+            format!("{}..{}", format_sci(Some(lo)), format_sci(Some(hi)))
+        };
+        table.push_row(vec![
+            format!("Layer {lid}"),
+            layer.kind().tag().to_string(),
+            points.len().to_string(),
+            min_max(|p| p.latency),
+            min_max(|p| p.energy),
+            min_max(|p| p.area),
+        ]);
+        all.push((format!("layer{lid}"), points));
+    }
+    println!("{table}");
+    println!(
+        "note: full scatter data (one record per design point) is in {}",
+        args.out.join("fig4_design_space.json").display()
+    );
+    write_json(&args.out.join("fig4_design_space.json"), &all).expect("write results");
+}

@@ -1,0 +1,147 @@
+//! Fig. 5: per-layer 12×12 action-pair cost contours and the per-layer /
+//! end-to-end LS search comparison, MobileNet-V2 under NVDLA-style
+//! dataflow.
+//!
+//! * For layers 12 (CONV), 34 (CONV) and 23 (DWCONV) we dump the full
+//!   12×12 latency/energy grids (the heatmaps of the figure).
+//! * For the end-to-end LS case we compare the paper's search methods plus
+//!   the two heuristics: A = size for the most compute-intensive layer,
+//!   B = the best uniform end-to-end configuration.
+
+use confuciux::{
+    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    ConstraintKind, Deployment, ExperimentTable, HwProblem, Objective, PlatformClass,
+    SearchBudget,
+};
+use confuciux_bench::Args;
+use maestro::{Dataflow, DesignPoint};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Grid {
+    layer: String,
+    kind: String,
+    latency: Vec<Vec<f64>>,
+    energy: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = Args::parse(400);
+    let model = dnn_models::mobilenet_v2();
+    let problem = HwProblem::builder(model.clone())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+        .deployment(Deployment::LayerSequential)
+        .build();
+    let space = problem.actions().clone();
+    let levels = space.levels();
+
+    // --- Per-layer 12x12 grids + per-layer optima. ---
+    let mut grids = Vec::new();
+    let mut per_layer = ExperimentTable::new(
+        "Fig. 5 — per-layer optimal action pairs (exhaustive over the 12x12 grid)",
+        &["Layer", "Kind", "Best (PE lvl, Buf lvl) latency", "Latency (cy.)", "Best (PE lvl, Buf lvl) energy", "Energy (nJ)"],
+    );
+    for lid in [12usize, 34, 23] {
+        let li = lid - 1;
+        let mut lat = vec![vec![0.0; levels]; levels];
+        let mut en = vec![vec![0.0; levels]; levels];
+        let mut best_lat = (0, 0, f64::MAX);
+        let mut best_en = (0, 0, f64::MAX);
+        for p in 0..levels {
+            for b in 0..levels {
+                let point = DesignPoint::new(space.pe(p), space.tile(b)).expect("valid");
+                let r = problem.evaluate_layer(li, Dataflow::NvdlaStyle, point);
+                lat[p][b] = r.latency_cycles;
+                en[p][b] = r.energy_nj;
+                if r.latency_cycles < best_lat.2 {
+                    best_lat = (p, b, r.latency_cycles);
+                }
+                if r.energy_nj < best_en.2 {
+                    best_en = (p, b, r.energy_nj);
+                }
+            }
+        }
+        per_layer.push_row(vec![
+            format!("Layer {lid}"),
+            model.layers()[li].kind().tag().to_string(),
+            format!("({}, {})", best_lat.0 + 1, best_lat.1 + 1),
+            format_sci(Some(best_lat.2)),
+            format!("({}, {})", best_en.0 + 1, best_en.1 + 1),
+            format_sci(Some(best_en.2)),
+        ]);
+        grids.push(Grid {
+            layer: format!("layer{lid}"),
+            kind: model.layers()[li].kind().tag().to_string(),
+            latency: lat,
+            energy: en,
+        });
+    }
+    println!("{per_layer}");
+
+    // --- End-to-end LS comparison across methods and heuristics. ---
+    let mut e2e = ExperimentTable::new(
+        "Fig. 5 — end-to-end LS search comparison (MobileNet-V2, NVDLA-style)",
+        &["Method", "Latency (cy.)", "Energy (nJ)"],
+    );
+    for objective in [Objective::Latency, Objective::Energy] {
+        let p = HwProblem::builder(model.clone())
+            .dataflow(Dataflow::NvdlaStyle)
+            .objective(objective)
+            .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+            .deployment(Deployment::LayerSequential)
+            .build();
+        let budget = SearchBudget {
+            epochs: args.epochs,
+        };
+        let mut column: Vec<(String, Option<f64>)> = Vec::new();
+        for kind in BaselineKind::TABLE4 {
+            let r = run_baseline(&p, kind, budget, args.seed);
+            column.push((kind.name().to_string(), r.best_cost()));
+        }
+        let conx = run_rl_search(&p, AlgorithmKind::Reinforce, budget, args.seed);
+        column.push(("Con'X (global)".to_string(), conx.best_cost()));
+        // Heuristic A: size for the most compute-intensive layer.
+        let heavy = model.most_compute_intensive_layer();
+        let mut best_heavy = (0usize, 0usize, f64::MAX);
+        for pe in 0..levels {
+            for b in 0..levels {
+                let point = DesignPoint::new(space.pe(pe), space.tile(b)).expect("valid");
+                let r = p.evaluate_layer(heavy, Dataflow::NvdlaStyle, point);
+                let c = objective.of(&r);
+                if c < best_heavy.2 {
+                    best_heavy = (pe, b, c);
+                }
+            }
+        }
+        let point_a =
+            DesignPoint::new(space.pe(best_heavy.0), space.tile(best_heavy.1)).expect("valid");
+        let heur_a = p.evaluate_ls(Dataflow::NvdlaStyle, point_a).map(|a| a.cost);
+        column.push(("Heuristic A".to_string(), heur_a));
+        // Heuristic B: exhaustive best uniform end-to-end configuration.
+        let mut best_b: Option<f64> = None;
+        for pe in 0..levels {
+            for b in 0..levels {
+                let point = DesignPoint::new(space.pe(pe), space.tile(b)).expect("valid");
+                if let Some(a) = p.evaluate_ls(Dataflow::NvdlaStyle, point) {
+                    best_b = Some(best_b.map_or(a.cost, |x: f64| x.min(a.cost)));
+                }
+            }
+        }
+        column.push(("Heuristic B".to_string(), best_b));
+        // Merge the two objective columns row-wise.
+        if objective == Objective::Latency {
+            for (name, v) in &column {
+                e2e.push_row(vec![name.clone(), format_sci(*v), String::new()]);
+            }
+        } else {
+            for (i, (_, v)) in column.iter().enumerate() {
+                e2e.rows[i][2] = format_sci(*v);
+            }
+        }
+    }
+    println!("{e2e}");
+    write_json(&args.out.join("fig5_grids.json"), &grids).expect("write results");
+    write_json(&args.out.join("fig5_end_to_end.json"), &e2e).expect("write results");
+}

@@ -1,0 +1,72 @@
+//! Fig. 7: convergence/sample-efficiency traces of Con'X (global) vs the
+//! classical baselines on MobileNet-V2 (NVDLA-style, IoT area budget),
+//! minimizing (a) latency and (b) energy.
+
+use confuciux::{
+    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    ConstraintKind, Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::{standard_problem, Args};
+use maestro::Dataflow;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Trace {
+    objective: String,
+    method: String,
+    best_so_far: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse(600);
+    let budget = SearchBudget {
+        epochs: args.epochs,
+    };
+    let mut traces = Vec::new();
+    for objective in [Objective::Latency, Objective::Energy] {
+        let problem = standard_problem(
+            "MbnetV2",
+            Dataflow::NvdlaStyle,
+            objective,
+            ConstraintKind::Area,
+            PlatformClass::Iot,
+        );
+        let mut table = confuciux::ExperimentTable::new(
+            &format!("Fig. 7 — best-so-far vs epochs (Obj: {objective}, Cstr: IoT area)"),
+            &["Method", "@10%", "@25%", "@50%", "@100%", "epochs-to-conv"],
+        );
+        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        let mut runs = vec![("Con'X (global)".to_string(), conx.trace, conx.epochs_to_converge)];
+        for kind in [
+            BaselineKind::Random,
+            BaselineKind::SimulatedAnnealing,
+            BaselineKind::Genetic,
+            BaselineKind::Bayesian,
+        ] {
+            let r = run_baseline(&problem, kind, budget, args.seed);
+            runs.push((kind.name().to_string(), r.trace, r.epochs_to_converge));
+        }
+        for (name, trace, conv) in &runs {
+            let at = |frac: f64| {
+                let idx = ((trace.len() as f64 * frac) as usize).clamp(1, trace.len()) - 1;
+                let v = trace[idx];
+                format_sci(if v.is_finite() { Some(v) } else { None })
+            };
+            table.push_row(vec![
+                name.clone(),
+                at(0.10),
+                at(0.25),
+                at(0.50),
+                at(1.0),
+                conv.map_or("-".to_string(), |e| e.to_string()),
+            ]);
+            traces.push(Trace {
+                objective: objective.to_string(),
+                method: name.clone(),
+                best_so_far: trace.clone(),
+            });
+        }
+        println!("{table}");
+    }
+    write_json(&args.out.join("fig7_convergence.json"), &traces).expect("write results");
+}

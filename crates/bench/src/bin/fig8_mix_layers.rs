@@ -1,0 +1,92 @@
+//! Fig. 8: per-layer decisions of the MIX-strategy agent on MobileNet-V2
+//! (Obj: latency, Cstr: IoT area) — which dataflow style and how many
+//! PEs/buffer bytes each layer receives.
+
+use confuciux::{
+    run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
+    Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::Args;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LayerChoice {
+    layer: usize,
+    kind: String,
+    dataflow: char,
+    pes: u64,
+    l1_bytes: f64,
+}
+
+fn main() {
+    let args = Args::parse(800);
+    let problem = HwProblem::builder(dnn_models::mobilenet_v2())
+        .mix_dataflow()
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let r = run_rl_search(
+        &problem,
+        AlgorithmKind::Reinforce,
+        SearchBudget {
+            epochs: args.epochs,
+        },
+        args.seed,
+    );
+    let Some(best) = &r.best else {
+        println!("no feasible MIX assignment found in {} epochs", args.epochs);
+        return;
+    };
+    println!(
+        "Fig. 8 — MIX assignment for MobileNet-V2 (latency {:.3E} cycles, area {:.3E}/{:.3E} um2)\n",
+        best.cost,
+        best.constraint_used,
+        problem.budget()
+    );
+    let mut choices = Vec::new();
+    let model = problem.model();
+    print!("(Df-Style) ");
+    for la in &best.layers {
+        print!("{} ", la.dataflow.letter());
+    }
+    println!("\n");
+    println!("| layer | kind | dataflow | PEs | L1 bytes |");
+    println!("|---|---|---|---|---|");
+    for (i, la) in best.layers.iter().enumerate() {
+        let layer = &model.layers()[i];
+        let l1 = la.dataflow.l1_bytes(layer, la.point.tile());
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            i + 1,
+            layer.kind().tag(),
+            la.dataflow.letter(),
+            la.point.num_pes(),
+            l1
+        );
+        choices.push(LayerChoice {
+            layer: i + 1,
+            kind: layer.kind().tag().to_string(),
+            dataflow: la.dataflow.letter(),
+            pes: la.point.num_pes(),
+            l1_bytes: l1,
+        });
+    }
+    // Distribution summary, mirroring the paper's observation that early
+    // (large-activation) layers prefer eye/shi and late (large-channel)
+    // layers prefer dla.
+    let halves = best.layers.split_at(best.layers.len() / 2);
+    let count = |slice: &[confuciux::LayerAssignment], letter: char| {
+        slice.iter().filter(|l| l.dataflow.letter() == letter).count()
+    };
+    println!(
+        "\nearly-half dataflows: D={} E={} S={} | late-half: D={} E={} S={}",
+        count(halves.0, 'D'),
+        count(halves.0, 'E'),
+        count(halves.0, 'S'),
+        count(halves.1, 'D'),
+        count(halves.1, 'E'),
+        count(halves.1, 'S'),
+    );
+    write_json(&args.out.join("fig8_mix_layers.json"), &choices).expect("write results");
+}

@@ -1,0 +1,60 @@
+//! Runs every table/figure binary in sequence with a reduced epoch budget,
+//! collecting all outputs under `results/`. Pass `--epochs`/`--full` to
+//! scale up toward the paper's 5,000-epoch runs.
+
+use std::process::Command;
+
+use confuciux_bench::Args;
+
+const BINARIES: [(&str, usize); 13] = [
+    ("fig1_motivation", 0),
+    ("fig4_design_space", 0),
+    ("fig5_per_layer", 200),
+    ("table3_lp_converged", 200),
+    ("table4_optimizers", 200),
+    ("table5_rl_algorithms", 150),
+    ("fig6_critic_study", 15),
+    ("fig7_convergence", 300),
+    ("table6_mix", 200),
+    ("fig8_mix_layers", 300),
+    ("table7_two_stage", 250),
+    ("fig9_two_stage_trace", 300),
+    ("fig10_breakdown", 300),
+];
+
+fn main() {
+    let args = Args::parse(0);
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    // table8/table9 are the slowest; they run last so partial results land
+    // early.
+    let mut plan: Vec<(String, usize)> = BINARIES
+        .iter()
+        .map(|(n, e)| (n.to_string(), *e))
+        .collect();
+    plan.push(("table8_fpga".to_string(), 200));
+    plan.push(("table9_policy_ablation".to_string(), 150));
+    for (name, default_epochs) in plan {
+        let epochs = if args.epochs > 0 {
+            args.epochs
+        } else {
+            default_epochs
+        };
+        let mut cmd = Command::new(exe_dir.join(&name));
+        if epochs > 0 {
+            cmd.arg("--epochs").arg(epochs.to_string());
+        }
+        cmd.arg("--seed").arg(args.seed.to_string());
+        cmd.arg("--out").arg(&args.out);
+        if args.full {
+            cmd.arg("--full");
+        }
+        println!("\n===== {name} =====");
+        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert!(status.success(), "{name} failed with {status}");
+    }
+    println!("\nall experiments complete; results in {}", args.out.display());
+}

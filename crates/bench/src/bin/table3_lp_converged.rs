@@ -1,0 +1,73 @@
+//! Table III: converged LP solutions (objective: latency, constraint:
+//! area) across six models × three dataflow styles, comparing the two best
+//! baselines (GA, PPO2) against Con'X (global).
+//!
+//! By default a representative subset of rows runs (one per model);
+//! `--full` runs all 18 rows of the paper.
+
+use confuciux::{
+    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    ConstraintKind, Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::{dataflow_by_suffix, standard_problem, Args};
+
+/// The paper's row set: (model, dataflow suffix, platform).
+const ROWS: [(&str, &str, PlatformClass); 18] = [
+    ("MbnetV2", "dla", PlatformClass::Iot),
+    ("MbnetV2", "eye", PlatformClass::IotX),
+    ("MbnetV2", "shi", PlatformClass::IotX),
+    ("MnasNet", "dla", PlatformClass::Cloud),
+    ("MnasNet", "eye", PlatformClass::IotX),
+    ("MnasNet", "shi", PlatformClass::IotX),
+    ("ResNet50", "dla", PlatformClass::Cloud),
+    ("ResNet50", "eye", PlatformClass::Cloud),
+    ("ResNet50", "shi", PlatformClass::Cloud),
+    ("GNMT", "dla", PlatformClass::IotX),
+    ("GNMT", "eye", PlatformClass::Iot),
+    ("GNMT", "shi", PlatformClass::Iot),
+    ("Transformer", "dla", PlatformClass::IotX),
+    ("Transformer", "eye", PlatformClass::Iot),
+    ("Transformer", "shi", PlatformClass::Iot),
+    ("NCF", "dla", PlatformClass::IotX),
+    ("NCF", "eye", PlatformClass::Cloud),
+    ("NCF", "shi", PlatformClass::Iot),
+];
+
+fn main() {
+    let args = Args::parse(400);
+    let budget = SearchBudget {
+        epochs: args.epochs,
+    };
+    let rows: Vec<_> = if args.full {
+        ROWS.to_vec()
+    } else {
+        // One representative row per model.
+        vec![ROWS[0], ROWS[3], ROWS[6], ROWS[10], ROWS[14], ROWS[16]]
+    };
+    let mut table = confuciux::ExperimentTable::new(
+        "Table III — converged solution of LP deployment (Obj: latency, Cstr: area)",
+        &["Model", "Cstr.", "GA", "PPO2", "Con'X (global)"],
+    );
+    for (model, df, platform) in rows {
+        let problem = standard_problem(
+            model,
+            dataflow_by_suffix(df),
+            Objective::Latency,
+            ConstraintKind::Area,
+            platform,
+        );
+        let ga = run_baseline(&problem, BaselineKind::Genetic, budget, args.seed);
+        let ppo = run_rl_search(&problem, AlgorithmKind::Ppo2, budget, args.seed);
+        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        table.push_row(vec![
+            format!("{model}-{df}"),
+            platform.to_string(),
+            format_sci(ga.best_cost()),
+            format_sci(ppo.best_cost()),
+            format_sci(conx.best_cost()),
+        ]);
+        eprintln!("done: {model}-{df} {platform}");
+    }
+    println!("{table}");
+    write_json(&args.out.join("table3_lp_converged.json"), &table).expect("write results");
+}

@@ -1,0 +1,72 @@
+//! Table IV: converged solutions for the classical optimization baselines
+//! vs Con'X (global) across the four platform classes, for MobileNet-V2,
+//! NVDLA-style, LP deployment — 14 (objective, constraint, platform) rows.
+
+use confuciux::{
+    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    ConstraintKind, Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::{standard_problem, Args};
+use maestro::Dataflow;
+
+const ROWS: [(Objective, ConstraintKind, PlatformClass); 14] = [
+    (Objective::Latency, ConstraintKind::Area, PlatformClass::Unlimited),
+    (Objective::Latency, ConstraintKind::Area, PlatformClass::Cloud),
+    (Objective::Latency, ConstraintKind::Area, PlatformClass::Iot),
+    (Objective::Latency, ConstraintKind::Area, PlatformClass::IotX),
+    (Objective::Latency, ConstraintKind::Power, PlatformClass::Cloud),
+    (Objective::Latency, ConstraintKind::Power, PlatformClass::Iot),
+    (Objective::Latency, ConstraintKind::Power, PlatformClass::IotX),
+    (Objective::Energy, ConstraintKind::Area, PlatformClass::Unlimited),
+    (Objective::Energy, ConstraintKind::Area, PlatformClass::Cloud),
+    (Objective::Energy, ConstraintKind::Area, PlatformClass::Iot),
+    (Objective::Energy, ConstraintKind::Area, PlatformClass::IotX),
+    (Objective::Energy, ConstraintKind::Power, PlatformClass::Cloud),
+    (Objective::Energy, ConstraintKind::Power, PlatformClass::Iot),
+    (Objective::Energy, ConstraintKind::Power, PlatformClass::IotX),
+];
+
+fn main() {
+    let args = Args::parse(400);
+    let budget = SearchBudget {
+        epochs: args.epochs,
+    };
+    let rows: Vec<_> = if args.full {
+        ROWS.to_vec()
+    } else {
+        vec![ROWS[0], ROWS[2], ROWS[3], ROWS[5], ROWS[7], ROWS[9], ROWS[12]]
+    };
+    let mut table = confuciux::ExperimentTable::new(
+        "Table IV — optimizer deep-dive (MobileNet-V2, NVDLA-style, LP)",
+        &[
+            "Objective",
+            "Constraint",
+            "Grid",
+            "Random",
+            "SA",
+            "GA",
+            "Bayes.Opt.",
+            "Con'X (global)",
+        ],
+    );
+    for (objective, constraint, platform) in rows {
+        let problem = standard_problem(
+            "MbnetV2",
+            Dataflow::NvdlaStyle,
+            objective,
+            constraint,
+            platform,
+        );
+        let mut cells = vec![objective.to_string(), format!("{constraint}: {platform}")];
+        for kind in BaselineKind::TABLE4 {
+            let r = run_baseline(&problem, kind, budget, args.seed);
+            cells.push(format_sci(r.best_cost()));
+        }
+        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        cells.push(format_sci(conx.best_cost()));
+        table.push_row(cells);
+        eprintln!("done: {objective} {constraint} {platform}");
+    }
+    println!("{table}");
+    write_json(&args.out.join("table4_optimizers.json"), &table).expect("write results");
+}

@@ -1,0 +1,76 @@
+//! Table VI: dataflow–hardware co-automation. Con'X (global) with each
+//! fixed dataflow style vs Con'X-MIX, which picks a per-layer dataflow as
+//! a third action (§IV-D).
+
+use confuciux::{
+    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::{standard_problem, Args};
+use maestro::Dataflow;
+
+const ROWS: [(&str, PlatformClass); 10] = [
+    ("MbnetV2", PlatformClass::Iot),
+    ("MbnetV2", PlatformClass::IotX),
+    ("MnasNet", PlatformClass::Cloud),
+    ("MnasNet", PlatformClass::Iot),
+    ("ResNet50", PlatformClass::Cloud),
+    ("ResNet50", PlatformClass::Iot),
+    ("ResNet50", PlatformClass::IotX),
+    ("GNMT", PlatformClass::Cloud),
+    ("NCF", PlatformClass::Cloud),
+    ("NCF", PlatformClass::Iot),
+];
+
+fn main() {
+    let args = Args::parse(400);
+    let budget = SearchBudget {
+        epochs: args.epochs,
+    };
+    let rows: Vec<_> = if args.full {
+        ROWS.to_vec()
+    } else {
+        vec![ROWS[0], ROWS[2], ROWS[4], ROWS[8]]
+    };
+    let mut table = confuciux::ExperimentTable::new(
+        "Table VI — dataflow & hardware co-automation (Obj: latency, Cstr: area)",
+        &[
+            "Model",
+            "Cstr.",
+            "Con'X-dla",
+            "Con'X-shi",
+            "Con'X-eye",
+            "Con'X-MIX",
+        ],
+    );
+    for (model, platform) in rows {
+        let mut cells = vec![model.to_string(), platform.to_string()];
+        for df in [
+            Dataflow::NvdlaStyle,
+            Dataflow::ShiDianNaoStyle,
+            Dataflow::EyerissStyle,
+        ] {
+            let problem = standard_problem(
+                model,
+                df,
+                Objective::Latency,
+                ConstraintKind::Area,
+                platform,
+            );
+            let r = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+            cells.push(format_sci(r.best_cost()));
+        }
+        let mix_problem = HwProblem::builder(dnn_models::by_name(model).expect("known model"))
+            .mix_dataflow()
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, platform)
+            .deployment(Deployment::LayerPipelined)
+            .build();
+        let mix = run_rl_search(&mix_problem, AlgorithmKind::Reinforce, budget, args.seed);
+        cells.push(format_sci(mix.best_cost()));
+        table.push_row(cells);
+        eprintln!("done: {model} {platform}");
+    }
+    println!("{table}");
+    write_json(&args.out.join("table6_mix.json"), &table).expect("write results");
+}

@@ -1,0 +1,85 @@
+//! Table VII: the benefit of two-stage optimization — initial valid value,
+//! first-stage (RL) result with improvement %, second-stage (local GA)
+//! result with improvement %.
+//!
+//! `--full` also runs a generic-GA fine-tuner for comparison (the §III-G
+//! argument for local operators).
+
+use confuciux::{
+    fine_tune, format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind,
+    Objective, PlatformClass, SearchBudget,
+};
+use confuciux_bench::{standard_problem, Args};
+use maestro::Dataflow;
+
+const ROWS: [(&str, PlatformClass); 6] = [
+    ("MbnetV2", PlatformClass::Iot),
+    ("MnasNet", PlatformClass::Iot),
+    ("ResNet50", PlatformClass::Cloud),
+    ("ResNet50", PlatformClass::Iot),
+    ("GNMT", PlatformClass::Iot),
+    ("NCF", PlatformClass::Iot),
+];
+
+fn main() {
+    let args = Args::parse(500);
+    let rows: Vec<_> = if args.full {
+        ROWS.to_vec()
+    } else {
+        vec![ROWS[0], ROWS[1], ROWS[4], ROWS[5]]
+    };
+    let mut table = confuciux::ExperimentTable::new(
+        "Table VII — two-stage optimization (Obj: latency, Cstr: area, dla)",
+        &[
+            "Model",
+            "Cstr.",
+            "Initial valid (cy.)",
+            "Global search (cy.)",
+            "Impr. (%)",
+            "Fine-tuned (cy.)",
+            "Impr. (%)",
+        ],
+    );
+    for (model, platform) in rows {
+        let problem = standard_problem(
+            model,
+            Dataflow::NvdlaStyle,
+            Objective::Latency,
+            ConstraintKind::Area,
+            platform,
+        );
+        let global = run_rl_search(
+            &problem,
+            AlgorithmKind::Reinforce,
+            SearchBudget {
+                epochs: args.epochs,
+            },
+            args.seed,
+        );
+        let (fine_cost, impr2) = match &global.best {
+            Some(coarse) => {
+                let fine = fine_tune(&problem, coarse, args.epochs * 2, args.seed ^ 0xf1e);
+                let fc = fine.best.as_ref().map(|a| a.cost);
+                let impr = fc.map(|f| 100.0 * (coarse.cost - f) / coarse.cost);
+                (fc, impr)
+            }
+            None => (None, None),
+        };
+        let impr1 = match (global.initial_valid_cost, global.best_cost()) {
+            (Some(init), Some(best)) => Some(100.0 * (init - best) / init),
+            _ => None,
+        };
+        table.push_row(vec![
+            format!("{model}-dla"),
+            platform.to_string(),
+            format_sci(global.initial_valid_cost),
+            format_sci(global.best_cost()),
+            impr1.map_or("-".into(), |v| format!("{v:.1}%")),
+            format_sci(fine_cost),
+            impr2.map_or("-".into(), |v| format!("{v:.1}%")),
+        ]);
+        eprintln!("done: {model} {platform}");
+    }
+    println!("{table}");
+    write_json(&args.out.join("table7_two_stage.json"), &table).expect("write results");
+}

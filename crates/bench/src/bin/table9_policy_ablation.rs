@@ -1,0 +1,112 @@
+//! Table IX: policy-network configurations — MLP vs RNN backbones at
+//! action granularities L ∈ {10, 12, 14}, MobileNet-V2-dla, Obj: latency,
+//! Cstr: area (Cloud / IoT / IoTx). Reports the optimized result and the
+//! fraction of the budget the solution consumes.
+//!
+//! `--full` additionally runs the reward-shaping ablation (the `P_min`
+//! baseline and the accumulated vs constant penalty of §III-E).
+
+use confuciux::{
+    format_sci, run_rl_search, run_rl_search_with_reward, write_json, ActionSpace,
+    AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+    RewardConfig, SearchBudget,
+};
+use confuciux_bench::Args;
+use maestro::Dataflow;
+
+fn problem_with_levels(levels: usize, platform: PlatformClass) -> HwProblem {
+    HwProblem::builder(dnn_models::mobilenet_v2())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, platform)
+        .deployment(Deployment::LayerPipelined)
+        .actions(ActionSpace::with_levels(levels, 128))
+        .build()
+}
+
+fn main() {
+    let args = Args::parse(400);
+    let budget = SearchBudget {
+        epochs: args.epochs,
+    };
+    let mut table = confuciux::ExperimentTable::new(
+        "Table IX — policy-network configurations (MobileNet-V2-dla)",
+        &[
+            "Net type",
+            "Cstr.",
+            "L=10 result",
+            "L=10 used",
+            "L=12 result",
+            "L=12 used",
+            "L=14 result",
+            "L=14 used",
+        ],
+    );
+    for platform in [PlatformClass::Cloud, PlatformClass::Iot, PlatformClass::IotX] {
+        for (net, kind) in [
+            ("MLP", AlgorithmKind::ReinforceMlp),
+            ("RNN", AlgorithmKind::Reinforce),
+        ] {
+            let mut cells = vec![net.to_string(), platform.to_string()];
+            for levels in [10usize, 12, 14] {
+                let problem = problem_with_levels(levels, platform);
+                let r = run_rl_search(&problem, kind, budget, args.seed);
+                cells.push(format_sci(r.best_cost()));
+                cells.push(match &r.best {
+                    Some(b) => format!("{:.1}%", 100.0 * b.budget_utilization(problem.budget())),
+                    None => "-".to_string(),
+                });
+                eprintln!("done: {net} {platform} L={levels}");
+            }
+            table.push_row(cells);
+        }
+    }
+    println!("{table}");
+    write_json(&args.out.join("table9_policy_ablation.json"), &table).expect("write results");
+
+    if args.full {
+        // Reward-shaping ablation (beyond the paper's own tables; motivated
+        // by §III-E's design discussion).
+        let mut ablation = confuciux::ExperimentTable::new(
+            "Reward ablation — P_min baseline and penalty shape (MobileNet-V2-dla, IoT area)",
+            &["Reward variant", "Result (cy.)", "Initial valid (cy.)"],
+        );
+        let problem = problem_with_levels(12, PlatformClass::Iot);
+        let variants = [
+            ("paper default (P_min + accumulated penalty)", RewardConfig::default()),
+            (
+                "no P_min baseline",
+                RewardConfig {
+                    use_pmin_baseline: false,
+                    ..RewardConfig::default()
+                },
+            ),
+            (
+                "constant penalty",
+                RewardConfig {
+                    accumulated_penalty: false,
+                    constant_penalty: -1.0,
+                    ..RewardConfig::default()
+                },
+            ),
+        ];
+        for (name, cfg) in variants {
+            let r = run_rl_search_with_reward(
+                &problem,
+                AlgorithmKind::Reinforce,
+                budget,
+                args.seed,
+                cfg,
+            );
+            ablation.push_row(vec![
+                name.to_string(),
+                format_sci(r.best_cost()),
+                format_sci(r.initial_valid_cost),
+            ]);
+            eprintln!("done: reward ablation `{name}`");
+        }
+        println!("{ablation}");
+        write_json(&args.out.join("table9_reward_ablation.json"), &ablation)
+            .expect("write results");
+    }
+}

@@ -1,0 +1,135 @@
+//! # confuciux-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index), plus Criterion micro-benchmarks of the substrates. Binaries
+//! print the paper-style rows to stdout and write JSON into `results/`.
+//!
+//! Every binary accepts:
+//!
+//! * `--epochs N` — search budget per run (default varies; the paper uses
+//!   5,000, defaults here are scaled down for runtime).
+//! * `--seed N` — RNG seed (default 42).
+//! * `--out DIR` — results directory (default `results/`).
+//! * `--full` — run the complete row set instead of the representative
+//!   subset.
+
+use std::path::PathBuf;
+
+use confuciux::{
+    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+};
+use maestro::Dataflow;
+
+/// Common command-line arguments for experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Search budget in epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output directory for JSON results.
+    pub out: PathBuf,
+    /// Run the full row set.
+    pub full: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args` with a default epoch budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_epochs: usize) -> Args {
+        let mut args = Args {
+            epochs: default_epochs,
+            seed: 42,
+            out: PathBuf::from("results"),
+            full: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--epochs" => {
+                    i += 1;
+                    args.epochs = argv[i].parse().expect("--epochs takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    args.seed = argv[i].parse().expect("--seed takes an integer");
+                }
+                "--out" => {
+                    i += 1;
+                    args.out = PathBuf::from(&argv[i]);
+                }
+                "--full" => args.full = true,
+                other => panic!("unknown argument `{other}` (see crate docs)"),
+            }
+            i += 1;
+        }
+        args
+    }
+}
+
+/// Builds the standard problem used by most single-model experiments.
+pub fn standard_problem(
+    model: &str,
+    dataflow: Dataflow,
+    objective: Objective,
+    constraint: ConstraintKind,
+    platform: PlatformClass,
+) -> HwProblem {
+    HwProblem::builder(dnn_models::by_name(model).expect("known model"))
+        .dataflow(dataflow)
+        .objective(objective)
+        .constraint(constraint, platform)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+/// Parses a dataflow suffix as used in the paper's tables.
+pub fn dataflow_by_suffix(suffix: &str) -> Dataflow {
+    match suffix {
+        "dla" => Dataflow::NvdlaStyle,
+        "eye" => Dataflow::EyerissStyle,
+        "shi" => Dataflow::ShiDianNaoStyle,
+        other => panic!("unknown dataflow suffix `{other}`"),
+    }
+}
+
+/// Formats a `Duration` as the paper's `h:mm` search-time entries
+/// (here with seconds resolution: `m:ss`).
+pub fn format_duration(d: std::time::Duration) -> String {
+    let total = d.as_secs();
+    format!("{}:{:02}", total / 60, total % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_suffixes_resolve() {
+        assert_eq!(dataflow_by_suffix("dla"), Dataflow::NvdlaStyle);
+        assert_eq!(dataflow_by_suffix("eye"), Dataflow::EyerissStyle);
+        assert_eq!(dataflow_by_suffix("shi"), Dataflow::ShiDianNaoStyle);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(std::time::Duration::from_secs(125)), "2:05");
+        assert_eq!(format_duration(std::time::Duration::from_secs(5)), "0:05");
+    }
+
+    #[test]
+    fn standard_problem_builds() {
+        let p = standard_problem(
+            "tiny_cnn",
+            Dataflow::NvdlaStyle,
+            Objective::Latency,
+            ConstraintKind::Area,
+            PlatformClass::Iot,
+        );
+        assert!(p.budget() > 0.0);
+    }
+}

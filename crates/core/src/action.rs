@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+/// The coarse action menus of Table I: `L` levels for the PE count and `L`
+/// levels for the buffer (filter-tile) size.
+///
+/// For the paper's default `L = 12` the PE levels are exactly Table I's
+/// `{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}` (chosen by "marginal
+/// observed return" — dense at small counts, sparse near the top); other
+/// `L` values (Table IX evaluates 10 and 14) use a geometric spacing over
+/// the same `[1, max_pe]` range. Buffer levels are the filter tiles
+/// `kt = 1..=L`, which the dataflow's L1 formula maps to bytes (NVDLA 3×3:
+/// 19, 29, …, 129 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    pe_levels: Vec<u64>,
+    tile_levels: Vec<u64>,
+}
+
+/// Table I's PE levels for `L = 12`.
+const PAPER_PE_LEVELS: [u64; 12] = [1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+
+impl ActionSpace {
+    /// The paper's default 12-level action space with up to 128 PEs.
+    pub fn paper_default() -> Self {
+        ActionSpace {
+            pe_levels: PAPER_PE_LEVELS.to_vec(),
+            tile_levels: (1..=12).collect(),
+        }
+    }
+
+    /// An `L`-level action space over `[1, max_pe]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `max_pe < 1`.
+    pub fn with_levels(levels: usize, max_pe: u64) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        assert!(max_pe >= 1, "need at least one PE");
+        if levels == 12 && max_pe == 128 {
+            return Self::paper_default();
+        }
+        let mut pe_levels: Vec<u64> = (0..levels)
+            .map(|i| {
+                let frac = i as f64 / (levels - 1) as f64;
+                ((max_pe as f64).powf(frac)).round() as u64
+            })
+            .collect();
+        // Geometric spacing can collide at the low end; force strict
+        // monotonicity.
+        for i in 1..pe_levels.len() {
+            if pe_levels[i] <= pe_levels[i - 1] {
+                pe_levels[i] = pe_levels[i - 1] + 1;
+            }
+        }
+        ActionSpace {
+            pe_levels,
+            tile_levels: (1..=levels as u64).collect(),
+        }
+    }
+
+    /// Number of levels `L`.
+    pub fn levels(&self) -> usize {
+        self.pe_levels.len()
+    }
+
+    /// PE count for level index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= levels()`.
+    pub fn pe(&self, i: usize) -> u64 {
+        self.pe_levels[i]
+    }
+
+    /// Filter tile `kt` for level index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= levels()`.
+    pub fn tile(&self, i: usize) -> u64 {
+        self.tile_levels[i]
+    }
+
+    /// All PE levels.
+    pub fn pe_levels(&self) -> &[u64] {
+        &self.pe_levels
+    }
+
+    /// All tile levels.
+    pub fn tile_levels(&self) -> &[u64] {
+        &self.tile_levels
+    }
+
+    /// The maximum (top-level) action pair, used to measure `C_max` for
+    /// Table II's platform constraints.
+    pub fn max_pair(&self) -> (u64, u64) {
+        (
+            *self.pe_levels.last().expect("non-empty"),
+            *self.tile_levels.last().expect("non-empty"),
+        )
+    }
+
+    /// Nearest level index for a fine-grained PE count (used to seed the
+    /// fine-tuning stage bounds and to re-encode fine genomes).
+    pub fn nearest_pe_level(&self, pes: u64) -> usize {
+        self.pe_levels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &p)| p.abs_diff(pes))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+impl Default for ActionSpace {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_one() {
+        let a = ActionSpace::paper_default();
+        assert_eq!(a.pe_levels(), &PAPER_PE_LEVELS);
+        assert_eq!(a.tile_levels(), &(1..=12).collect::<Vec<_>>());
+        assert_eq!(a.max_pair(), (128, 12));
+    }
+
+    #[test]
+    fn with_levels_12_is_the_paper_menu() {
+        assert_eq!(ActionSpace::with_levels(12, 128), ActionSpace::paper_default());
+    }
+
+    #[test]
+    fn other_levels_are_strictly_increasing() {
+        for l in [10usize, 14, 6] {
+            let a = ActionSpace::with_levels(l, 128);
+            assert_eq!(a.levels(), l);
+            for w in a.pe_levels().windows(2) {
+                assert!(w[1] > w[0], "{:?}", a.pe_levels());
+            }
+            assert_eq!(a.pe(0), 1);
+            assert!(a.pe(l - 1) >= 128);
+        }
+    }
+
+    #[test]
+    fn nearest_level_round_trips_exact_values() {
+        let a = ActionSpace::paper_default();
+        for (i, &p) in a.pe_levels().iter().enumerate() {
+            assert_eq!(a.nearest_pe_level(p), i);
+        }
+        assert_eq!(a.nearest_pe_level(100), a.nearest_pe_level(96));
+    }
+}

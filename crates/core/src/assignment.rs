@@ -1,0 +1,83 @@
+use maestro::{Dataflow, DesignPoint};
+use serde::{Deserialize, Serialize};
+
+/// Resources assigned to one layer: a dataflow style and a design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerAssignment {
+    /// Dataflow style for this layer (fixed per-problem unless MIX mode).
+    pub dataflow: Dataflow,
+    /// PE count and filter tile.
+    pub point: DesignPoint,
+}
+
+impl LayerAssignment {
+    /// Convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pes` or `tile` is zero.
+    pub fn new(dataflow: Dataflow, pes: u64, tile: u64) -> Result<Self, maestro::MaestroError> {
+        Ok(LayerAssignment {
+            dataflow,
+            point: DesignPoint::new(pes, tile)?,
+        })
+    }
+}
+
+/// A complete solution: one [`LayerAssignment`] per model layer, plus its
+/// evaluated objective cost and constraint consumption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Per-layer resources (length = model layers for LP; length 1 for LS).
+    pub layers: Vec<LayerAssignment>,
+    /// Objective value (cycles or nJ).
+    pub cost: f64,
+    /// Constraint consumption (µm² or mW).
+    pub constraint_used: f64,
+}
+
+impl Assignment {
+    /// Total PEs across layers (Table VIII's "Used Cstr." columns).
+    pub fn total_pes(&self) -> u64 {
+        self.layers.iter().map(|l| l.point.num_pes()).sum()
+    }
+
+    /// Sum of per-layer tiles (proxy for total buffer allocation).
+    pub fn total_tiles(&self) -> u64 {
+        self.layers.iter().map(|l| l.point.tile()).sum()
+    }
+
+    /// Fraction of the budget consumed.
+    pub fn budget_utilization(&self, budget: f64) -> f64 {
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        self.constraint_used / budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let a = Assignment {
+            layers: vec![
+                LayerAssignment::new(Dataflow::NvdlaStyle, 8, 2).unwrap(),
+                LayerAssignment::new(Dataflow::EyerissStyle, 16, 3).unwrap(),
+            ],
+            cost: 1.0,
+            constraint_used: 50.0,
+        };
+        assert_eq!(a.total_pes(), 24);
+        assert_eq!(a.total_tiles(), 5);
+        assert!((a.budget_utilization(100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(LayerAssignment::new(Dataflow::NvdlaStyle, 0, 1).is_err());
+        assert!(LayerAssignment::new(Dataflow::NvdlaStyle, 1, 0).is_err());
+    }
+}

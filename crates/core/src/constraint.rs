@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+/// What the search minimizes (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Total model latency in cycles.
+    Latency,
+    /// Total model energy in nJ.
+    Energy,
+    /// Sum of per-layer energy–delay products (cycle·nJ). The paper lists
+    /// EDP as an alternative objective (§III-D); the per-layer sum is the
+    /// shaped form the layer-wise reward needs.
+    Edp,
+}
+
+impl Objective {
+    /// Objective value of one layer's cost report.
+    pub fn of(&self, report: &maestro::CostReport) -> f64 {
+        match self {
+            Objective::Latency => report.latency_cycles,
+            Objective::Energy => report.energy_nj,
+            Objective::Edp => report.latency_cycles * report.energy_nj,
+        }
+    }
+
+    /// Unit string for display.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Objective::Latency => "cycles",
+            Objective::Energy => "nJ",
+            Objective::Edp => "cycle*nJ",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::Latency => f.write_str("Latency"),
+            Objective::Energy => f.write_str("Energy"),
+            Objective::Edp => f.write_str("EDP"),
+        }
+    }
+}
+
+/// Which platform budget constrains the design (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Total chip area in µm².
+    Area,
+    /// Total chip power in mW.
+    Power,
+}
+
+impl ConstraintKind {
+    /// Constraint consumption of one layer's cost report.
+    pub fn of(&self, report: &maestro::CostReport) -> f64 {
+        match self {
+            ConstraintKind::Area => report.area_um2,
+            ConstraintKind::Power => report.power_mw,
+        }
+    }
+}
+
+impl std::fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintKind::Area => f.write_str("Area"),
+            ConstraintKind::Power => f.write_str("Power"),
+        }
+    }
+}
+
+/// Platform classes of Table II, expressed as fractions of `C_max` (the
+/// constraint consumption of the uniform maximum action pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// No constraint (fraction 1.0 of `C_max`).
+    Unlimited,
+    /// Loose constraint: 50% of `C_max`.
+    Cloud,
+    /// Tight constraint: 10% of `C_max`.
+    Iot,
+    /// Extremely tight constraint: 5% of `C_max`.
+    IotX,
+}
+
+impl PlatformClass {
+    /// The budget fraction of `C_max` for this class.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            PlatformClass::Unlimited => 1.0,
+            PlatformClass::Cloud => 0.5,
+            PlatformClass::Iot => 0.1,
+            PlatformClass::IotX => 0.05,
+        }
+    }
+
+    /// All four classes in Table II order.
+    pub const ALL: [PlatformClass; 4] = [
+        PlatformClass::Unlimited,
+        PlatformClass::Cloud,
+        PlatformClass::Iot,
+        PlatformClass::IotX,
+    ];
+}
+
+impl std::fmt::Display for PlatformClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformClass::Unlimited => f.write_str("Unlimited"),
+            PlatformClass::Cloud => f.write_str("Cloud"),
+            PlatformClass::Iot => f.write_str("IoT"),
+            PlatformClass::IotX => f.write_str("IoTx"),
+        }
+    }
+}
+
+/// Deployment scenarios (§II-C, Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Layer Sequential: one design point shared by every layer; the model
+    /// runs layer by layer on the whole array.
+    LayerSequential,
+    /// Layer Pipelined: per-layer design points; the whole model is mapped
+    /// simultaneously with partitioned resources.
+    LayerPipelined,
+}
+
+impl std::fmt::Display for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Deployment::LayerSequential => f.write_str("LS"),
+            Deployment::LayerPipelined => f.write_str("LP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro::CostReport;
+
+    #[test]
+    fn objective_selects_field() {
+        let report = CostReport {
+            latency_cycles: 10.0,
+            energy_nj: 20.0,
+            ..CostReport::default()
+        };
+        assert_eq!(Objective::Latency.of(&report), 10.0);
+        assert_eq!(Objective::Energy.of(&report), 20.0);
+        assert_eq!(Objective::Edp.of(&report), 200.0);
+    }
+
+    #[test]
+    fn constraint_selects_field() {
+        let report = CostReport {
+            area_um2: 5.0,
+            power_mw: 7.0,
+            ..CostReport::default()
+        };
+        assert_eq!(ConstraintKind::Area.of(&report), 5.0);
+        assert_eq!(ConstraintKind::Power.of(&report), 7.0);
+    }
+
+    #[test]
+    fn platform_fractions_match_table_two() {
+        assert_eq!(PlatformClass::Unlimited.fraction(), 1.0);
+        assert_eq!(PlatformClass::Cloud.fraction(), 0.5);
+        assert_eq!(PlatformClass::Iot.fraction(), 0.1);
+        assert_eq!(PlatformClass::IotX.fraction(), 0.05);
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(PlatformClass::IotX.to_string(), "IoTx");
+        assert_eq!(Deployment::LayerPipelined.to_string(), "LP");
+        assert_eq!(Objective::Latency.to_string(), "Latency");
+    }
+}

@@ -1,0 +1,108 @@
+//! Design-space combinatorics (§I and §II-D of the paper): counting how
+//! many resource assignments exist for an LP deployment, via the
+//! stars-and-bars identity the paper cites.
+//!
+//! For `P` PEs and `B` buffers split across `N` layers (each layer getting
+//! at least one of each), the number of choices is `C(P-1, N) · C(B-1, N)`
+//! — `O(10^72)` for 128 PEs / 128 buffers on the 52-layer MobileNet-V2.
+
+/// `log10` of the binomial coefficient `C(n, k)`, computed with log-gamma
+/// so that astronomically large counts stay representable.
+pub fn log10_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    (ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0))
+        / std::f64::consts::LN_10
+}
+
+/// `log10` of the LP design-space size for `pes` PEs and `buffers` buffer
+/// units split across `layers` layers (§I: `C(P-1, N) · C(B-1, N)`).
+pub fn log10_lp_design_space(pes: u64, buffers: u64, layers: u64) -> f64 {
+    log10_binomial(pes.saturating_sub(1), layers) + log10_binomial(buffers.saturating_sub(1), layers)
+}
+
+/// `log10` of the *coarse* action-space size: `L^(2N)` for `L` levels and
+/// `N` layers (§IV-C4 quotes `12^104 = O(10^112)` for MobileNet-V2).
+pub fn log10_coarse_action_space(levels: usize, layers: usize) -> f64 {
+    2.0 * layers as f64 * (levels as f64).log10()
+}
+
+/// Lanczos approximation of `ln Γ(x)` (|relative error| < 1e-10 for the
+/// positive arguments used here).
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials_are_exact() {
+        assert!((log10_binomial(5, 2) - 1.0).abs() < 1e-9); // C(5,2)=10
+        assert!((log10_binomial(10, 3) - 120f64.log10()).abs() < 1e-9);
+        assert_eq!(log10_binomial(3, 5), f64::NEG_INFINITY);
+        assert!((log10_binomial(7, 0)).abs() < 1e-9); // C(n,0)=1
+    }
+
+    #[test]
+    fn paper_claim_o_10_72_for_mobilenet() {
+        // §I: 128 PEs, 128 buffers, 52-layer MobileNet-V2 -> O(10^72).
+        let log = log10_lp_design_space(128, 128, 52);
+        assert!(
+            (71.0..74.0).contains(&log),
+            "expected ~72 orders of magnitude, got {log:.1}"
+        );
+    }
+
+    #[test]
+    fn paper_claim_o_10_112_coarse_space() {
+        // §IV-C4: 12 levels, two actions per layer, 52 layers -> 12^104.
+        let log = log10_coarse_action_space(12, 52);
+        assert!(
+            (111.0..114.0).contains(&log),
+            "expected ~112 orders of magnitude, got {log:.1}"
+        );
+    }
+
+    #[test]
+    fn design_space_grows_with_resources_and_layers() {
+        let base = log10_lp_design_space(128, 128, 20);
+        assert!(log10_lp_design_space(256, 128, 20) > base);
+        assert!(log10_lp_design_space(128, 128, 40) > base);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        for (n, fact) in [(1u32, 1f64), (5, 120.0), (10, 3_628_800.0)] {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!((got - fact.ln()).abs() < 1e-8, "n={n}");
+        }
+    }
+}

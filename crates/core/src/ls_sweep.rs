@@ -1,0 +1,176 @@
+//! Layer-Sequential analysis helpers (§IV-B / Fig. 5): exhaustive per-layer
+//! sweeps over the coarse action grid, the paper's two design heuristics,
+//! and the end-to-end uniform optimum.
+
+use maestro::{Dataflow, DesignPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::{Assignment, HwProblem};
+
+/// The optimum of one layer over the full coarse action grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerLayerOptimum {
+    /// Layer index.
+    pub layer: usize,
+    /// Best PE level index.
+    pub pe_level: usize,
+    /// Best buffer level index.
+    pub buf_level: usize,
+    /// Objective value at the optimum.
+    pub cost: f64,
+}
+
+/// Exhaustively sweeps the `L×L` coarse grid for every layer and returns
+/// each layer's optimal action pair — the per-layer panels of Fig. 5.
+///
+/// # Panics
+///
+/// Panics if the problem is in MIX mode; pass the dataflow explicitly via
+/// a fixed-dataflow problem.
+pub fn per_layer_optima(problem: &HwProblem) -> Vec<PerLayerOptimum> {
+    let dataflow = problem
+        .dataflow()
+        .expect("per-layer sweep needs a fixed dataflow");
+    let space = problem.actions();
+    let levels = space.levels();
+    (0..problem.model().len())
+        .map(|layer| {
+            let mut best = PerLayerOptimum {
+                layer,
+                pe_level: 0,
+                buf_level: 0,
+                cost: f64::MAX,
+            };
+            for p in 0..levels {
+                for b in 0..levels {
+                    let point =
+                        DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
+                    let report = problem.evaluate_layer(layer, dataflow, point);
+                    let cost = problem.objective().of(&report);
+                    if cost < best.cost {
+                        best = PerLayerOptimum {
+                            layer,
+                            pe_level: p,
+                            buf_level: b,
+                            cost,
+                        };
+                    }
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Heuristic A (Fig. 5): size the accelerator for the most compute-
+/// intensive layer, then run the whole model on that configuration.
+/// Returns `None` if the resulting configuration violates the budget.
+pub fn heuristic_a(problem: &HwProblem) -> Option<Assignment> {
+    let dataflow = problem.dataflow()?;
+    let heavy = problem.model().most_compute_intensive_layer();
+    let optima = sweep_single_layer(problem, dataflow, heavy)?;
+    problem.evaluate_ls(dataflow, optima)
+}
+
+/// Heuristic B (Fig. 5): the best uniform configuration by end-to-end
+/// objective — an exhaustive sweep of the `L×L` grid at model level.
+pub fn heuristic_b(problem: &HwProblem) -> Option<Assignment> {
+    let dataflow = problem.dataflow()?;
+    let space = problem.actions();
+    let mut best: Option<Assignment> = None;
+    for p in 0..space.levels() {
+        for b in 0..space.levels() {
+            let point = DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
+            if let Some(a) = problem.evaluate_ls(dataflow, point) {
+                if best.as_ref().map_or(true, |x| a.cost < x.cost) {
+                    best = Some(a);
+                }
+            }
+        }
+    }
+    best
+}
+
+fn sweep_single_layer(
+    problem: &HwProblem,
+    dataflow: Dataflow,
+    layer: usize,
+) -> Option<DesignPoint> {
+    let space = problem.actions();
+    let mut best: Option<(DesignPoint, f64)> = None;
+    for p in 0..space.levels() {
+        for b in 0..space.levels() {
+            let point = DesignPoint::new(space.pe(p), space.tile(b)).ok()?;
+            let report = problem.evaluate_layer(layer, dataflow, point);
+            let cost = problem.objective().of(&report);
+            if best.map_or(true, |(_, c)| cost < c) {
+                best = Some((point, cost));
+            }
+        }
+    }
+    best.map(|(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintKind, Deployment, Objective, PlatformClass};
+
+    fn problem() -> HwProblem {
+        HwProblem::builder(dnn_models::tiny_cnn())
+            .dataflow(Dataflow::NvdlaStyle)
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+            .deployment(Deployment::LayerSequential)
+            .build()
+    }
+
+    #[test]
+    fn optima_cover_every_layer_and_beat_corner_configs() {
+        let p = problem();
+        let optima = per_layer_optima(&p);
+        assert_eq!(optima.len(), p.model().len());
+        let space = p.actions();
+        for opt in &optima {
+            // The sweep's optimum is at least as good as both grid corners.
+            for (pe, b) in [(0usize, 0usize), (space.levels() - 1, space.levels() - 1)] {
+                let point = DesignPoint::new(space.pe(pe), space.tile(b)).unwrap();
+                let corner = p
+                    .objective()
+                    .of(&p.evaluate_layer(opt.layer, Dataflow::NvdlaStyle, point));
+                assert!(opt.cost <= corner, "layer {}", opt.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn no_single_pair_is_optimal_for_all_layers() {
+        // Fig. 5's message: layers want different action pairs.
+        let p = problem();
+        let optima = per_layer_optima(&p);
+        let first = (optima[0].pe_level, optima[0].buf_level);
+        assert!(
+            optima
+                .iter()
+                .any(|o| (o.pe_level, o.buf_level) != first),
+            "every layer picked {first:?} — the design space lost its tension"
+        );
+    }
+
+    #[test]
+    fn heuristic_b_is_at_least_as_good_as_heuristic_a() {
+        // B optimizes the true end-to-end objective, A a proxy; on an
+        // unlimited budget B can never lose.
+        let p = problem();
+        let a = heuristic_a(&p).expect("unlimited budget");
+        let b = heuristic_b(&p).expect("unlimited budget");
+        assert!(b.cost <= a.cost + 1e-9, "B {} vs A {}", b.cost, a.cost);
+    }
+
+    #[test]
+    fn heuristics_return_single_layer_assignments() {
+        let p = problem();
+        assert_eq!(heuristic_a(&p).unwrap().layers.len(), 1);
+        assert_eq!(heuristic_b(&p).unwrap().layers.len(), 1);
+    }
+}

@@ -1,0 +1,429 @@
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dnn_models::Model;
+use maestro::{CostModel, CostReport, Dataflow, DesignPoint};
+
+use crate::{
+    ActionSpace, Assignment, ConstraintKind, Deployment, LayerAssignment, Objective,
+    PlatformClass,
+};
+
+/// A fully-specified HW resource-assignment problem instance: the inputs of
+/// Fig. 3 (model, dataflow, objective, constraint, deployment scenario)
+/// plus the cost model and coarse action space.
+///
+/// Construction goes through [`HwProblem::builder`]. Layer evaluations are
+/// memoized, since searches revisit the same `(layer, dataflow, point)`
+/// triples constantly.
+#[derive(Debug)]
+pub struct HwProblem {
+    model: Model,
+    /// Fixed dataflow; `None` = MIX mode (per-layer dataflow is part of the
+    /// action space, §IV-D).
+    dataflow: Option<Dataflow>,
+    objective: Objective,
+    constraint: ConstraintKind,
+    platform: PlatformClass,
+    deployment: Deployment,
+    actions: ActionSpace,
+    cost_model: CostModel,
+    budget: f64,
+    cache: Mutex<HashMap<(usize, Dataflow, u64, u64), CostReport>>,
+}
+
+impl HwProblem {
+    /// Starts building a problem for `model`.
+    pub fn builder(model: Model) -> HwProblemBuilder {
+        HwProblemBuilder {
+            model,
+            dataflow: Some(Dataflow::NvdlaStyle),
+            objective: Objective::Latency,
+            constraint: ConstraintKind::Area,
+            platform: PlatformClass::Iot,
+            deployment: Deployment::LayerPipelined,
+            actions: ActionSpace::paper_default(),
+            cost_model: CostModel::default(),
+            budget_override: None,
+        }
+    }
+
+    /// The target model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Fixed dataflow, or `None` in MIX mode.
+    pub fn dataflow(&self) -> Option<Dataflow> {
+        self.dataflow
+    }
+
+    /// Whether per-layer dataflow selection is part of the action space.
+    pub fn is_mix(&self) -> bool {
+        self.dataflow.is_none()
+    }
+
+    /// Optimization objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Constraint kind.
+    pub fn constraint(&self) -> ConstraintKind {
+        self.constraint
+    }
+
+    /// Platform class.
+    pub fn platform(&self) -> PlatformClass {
+        self.platform
+    }
+
+    /// Deployment scenario.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
+    }
+
+    /// Coarse action space.
+    pub fn actions(&self) -> &ActionSpace {
+        &self.actions
+    }
+
+    /// The constraint budget in the constraint's units (µm² or mW).
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Evaluates one layer on one design point (memoized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_idx` is out of range.
+    pub fn evaluate_layer(
+        &self,
+        layer_idx: usize,
+        dataflow: Dataflow,
+        point: DesignPoint,
+    ) -> CostReport {
+        let key = (layer_idx, dataflow, point.num_pes(), point.tile());
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return hit.clone();
+        }
+        let layer = &self.model.layers()[layer_idx];
+        let report = self.cost_model.evaluate(layer, dataflow, point);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, report.clone());
+        report
+    }
+
+    /// Evaluates a complete LP assignment: objective = Σ per-layer
+    /// objective, constraint = Σ per-layer constraint (each pipeline stage
+    /// owns its silicon). Returns `None` if the budget is violated.
+    pub fn evaluate_lp(&self, layers: &[LayerAssignment]) -> Option<Assignment> {
+        assert_eq!(
+            layers.len(),
+            self.model.len(),
+            "LP assignments cover every layer"
+        );
+        let mut cost = 0.0;
+        let mut used = 0.0;
+        for (idx, la) in layers.iter().enumerate() {
+            let report = self.evaluate_layer(idx, la.dataflow, la.point);
+            cost += self.objective.of(&report);
+            used += self.constraint.of(&report);
+            if used > self.budget {
+                return None;
+            }
+        }
+        Some(Assignment {
+            layers: layers.to_vec(),
+            cost,
+            constraint_used: used,
+        })
+    }
+
+    /// Evaluates an LS configuration: one design point shared by every
+    /// layer; objective sums over layers, constraint is the worst-case
+    /// single-layer consumption (the same silicon is reused). Returns
+    /// `None` if the budget is violated.
+    pub fn evaluate_ls(&self, dataflow: Dataflow, point: DesignPoint) -> Option<Assignment> {
+        let mut cost = 0.0;
+        let mut used: f64 = 0.0;
+        for idx in 0..self.model.len() {
+            let report = self.evaluate_layer(idx, dataflow, point);
+            cost += self.objective.of(&report);
+            used = used.max(self.constraint.of(&report));
+        }
+        if used > self.budget {
+            return None;
+        }
+        Some(Assignment {
+            layers: vec![LayerAssignment { dataflow, point }],
+            cost,
+            constraint_used: used,
+        })
+    }
+
+    /// Per-layer constraint consumption for one assignment (used by the
+    /// environment's incremental budget check).
+    pub fn layer_constraint(&self, layer_idx: usize, la: LayerAssignment) -> f64 {
+        self.constraint
+            .of(&self.evaluate_layer(layer_idx, la.dataflow, la.point))
+    }
+
+    /// Per-layer objective cost for one assignment.
+    pub fn layer_cost(&self, layer_idx: usize, la: LayerAssignment) -> f64 {
+        self.objective
+            .of(&self.evaluate_layer(layer_idx, la.dataflow, la.point))
+    }
+
+    /// Measures `C_max` per Table II: the constraint consumption of the
+    /// whole model at the uniform maximum action pair.
+    fn measure_c_max(
+        model: &Model,
+        dataflow: Option<Dataflow>,
+        constraint: ConstraintKind,
+        deployment: Deployment,
+        actions: &ActionSpace,
+        cost_model: &CostModel,
+    ) -> f64 {
+        let (max_pe, max_tile) = actions.max_pair();
+        let point = DesignPoint::new(max_pe, max_tile).expect("max pair is valid");
+        let df = dataflow.unwrap_or(Dataflow::NvdlaStyle);
+        match deployment {
+            Deployment::LayerPipelined => model
+                .layers()
+                .iter()
+                .map(|l| constraint.of(&cost_model.evaluate(l, df, point)))
+                .sum(),
+            Deployment::LayerSequential => model
+                .layers()
+                .iter()
+                .map(|l| constraint.of(&cost_model.evaluate(l, df, point)))
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Observation-normalization bounds: max of each layer-shape dimension
+    /// across the model.
+    pub fn shape_maxima(&self) -> [f64; 6] {
+        let mut m = [1.0f64; 6];
+        for l in self.model.layers() {
+            m[0] = m[0].max(l.k() as f64);
+            m[1] = m[1].max(l.c() as f64);
+            m[2] = m[2].max(l.y() as f64);
+            m[3] = m[3].max(l.x() as f64);
+            m[4] = m[4].max(l.r() as f64);
+            m[5] = m[5].max(l.s() as f64);
+        }
+        m
+    }
+
+    /// Number of memoized evaluations (observability for tests/benches).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+}
+
+/// Builder for [`HwProblem`] (see [`HwProblem::builder`]).
+#[derive(Debug, Clone)]
+pub struct HwProblemBuilder {
+    model: Model,
+    dataflow: Option<Dataflow>,
+    objective: Objective,
+    constraint: ConstraintKind,
+    platform: PlatformClass,
+    deployment: Deployment,
+    actions: ActionSpace,
+    cost_model: CostModel,
+    budget_override: Option<f64>,
+}
+
+impl HwProblemBuilder {
+    /// Fixes the dataflow style (default NVDLA-style).
+    pub fn dataflow(mut self, df: Dataflow) -> Self {
+        self.dataflow = Some(df);
+        self
+    }
+
+    /// Enables MIX mode: the agent picks a dataflow per layer (§IV-D).
+    pub fn mix_dataflow(mut self) -> Self {
+        self.dataflow = None;
+        self
+    }
+
+    /// Sets the objective (default latency).
+    pub fn objective(mut self, o: Objective) -> Self {
+        self.objective = o;
+        self
+    }
+
+    /// Sets the constraint kind and platform class (default area / IoT).
+    pub fn constraint(mut self, kind: ConstraintKind, platform: PlatformClass) -> Self {
+        self.constraint = kind;
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the deployment scenario (default LP).
+    pub fn deployment(mut self, d: Deployment) -> Self {
+        self.deployment = d;
+        self
+    }
+
+    /// Sets the coarse action space (default Table I's 12 levels).
+    pub fn actions(mut self, a: ActionSpace) -> Self {
+        self.actions = a;
+        self
+    }
+
+    /// Sets the cost model (default technology constants).
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cost_model = m;
+        self
+    }
+
+    /// Overrides the constraint budget with an absolute value (Table VIII's
+    /// FPGA device limits).
+    pub fn budget_override(mut self, budget: f64) -> Self {
+        self.budget_override = Some(budget);
+        self
+    }
+
+    /// Finalizes the problem, measuring `C_max` and deriving the budget.
+    pub fn build(self) -> HwProblem {
+        let c_max = HwProblem::measure_c_max(
+            &self.model,
+            self.dataflow,
+            self.constraint,
+            self.deployment,
+            &self.actions,
+            &self.cost_model,
+        );
+        let budget = self
+            .budget_override
+            .unwrap_or(c_max * self.platform.fraction());
+        HwProblem {
+            model: self.model,
+            dataflow: self.dataflow,
+            objective: self.objective,
+            constraint: self.constraint,
+            platform: self.platform,
+            deployment: self.deployment,
+            actions: self.actions,
+            cost_model: self.cost_model,
+            budget,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem(platform: PlatformClass) -> HwProblem {
+        HwProblem::builder(dnn_models::tiny_cnn())
+            .dataflow(Dataflow::NvdlaStyle)
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, platform)
+            .deployment(Deployment::LayerPipelined)
+            .build()
+    }
+
+    #[test]
+    fn budgets_scale_with_platform_class() {
+        let unlimited = tiny_problem(PlatformClass::Unlimited).budget();
+        let cloud = tiny_problem(PlatformClass::Cloud).budget();
+        let iot = tiny_problem(PlatformClass::Iot).budget();
+        let iotx = tiny_problem(PlatformClass::IotX).budget();
+        assert!((cloud / unlimited - 0.5).abs() < 1e-9);
+        assert!((iot / unlimited - 0.1).abs() < 1e-9);
+        assert!((iotx / unlimited - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_accepts_the_max_pair() {
+        let p = tiny_problem(PlatformClass::Unlimited);
+        let (pe, tile) = p.actions().max_pair();
+        let point = DesignPoint::new(pe, tile).unwrap();
+        let layers: Vec<LayerAssignment> = (0..p.model().len())
+            .map(|_| LayerAssignment {
+                dataflow: Dataflow::NvdlaStyle,
+                point,
+            })
+            .collect();
+        assert!(p.evaluate_lp(&layers).is_some(), "C_max must be feasible");
+    }
+
+    #[test]
+    fn iotx_rejects_the_max_pair() {
+        let p = tiny_problem(PlatformClass::IotX);
+        let (pe, tile) = p.actions().max_pair();
+        let point = DesignPoint::new(pe, tile).unwrap();
+        let layers: Vec<LayerAssignment> = (0..p.model().len())
+            .map(|_| LayerAssignment {
+                dataflow: Dataflow::NvdlaStyle,
+                point,
+            })
+            .collect();
+        assert!(p.evaluate_lp(&layers).is_none());
+    }
+
+    #[test]
+    fn minimum_pair_is_feasible_even_on_iotx() {
+        // One PE and one tile per layer must fit every platform class,
+        // otherwise the search problem would be vacuous.
+        let p = tiny_problem(PlatformClass::IotX);
+        let point = DesignPoint::new(1, 1).unwrap();
+        let layers: Vec<LayerAssignment> = (0..p.model().len())
+            .map(|_| LayerAssignment {
+                dataflow: Dataflow::NvdlaStyle,
+                point,
+            })
+            .collect();
+        assert!(p.evaluate_lp(&layers).is_some());
+    }
+
+    #[test]
+    fn evaluation_cache_fills_and_hits() {
+        let p = tiny_problem(PlatformClass::Unlimited);
+        let point = DesignPoint::new(4, 2).unwrap();
+        let a = p.evaluate_layer(0, Dataflow::NvdlaStyle, point);
+        let before = p.cache_len();
+        let b = p.evaluate_layer(0, Dataflow::NvdlaStyle, point);
+        assert_eq!(a, b);
+        assert_eq!(p.cache_len(), before);
+    }
+
+    #[test]
+    fn ls_constraint_is_worst_layer_not_sum() {
+        let p = HwProblem::builder(dnn_models::tiny_cnn())
+            .deployment(Deployment::LayerSequential)
+            .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+            .build();
+        let point = DesignPoint::new(8, 2).unwrap();
+        let a = p.evaluate_ls(Dataflow::NvdlaStyle, point).unwrap();
+        let per_layer_max = (0..p.model().len())
+            .map(|i| {
+                p.layer_constraint(
+                    i,
+                    LayerAssignment {
+                        dataflow: Dataflow::NvdlaStyle,
+                        point,
+                    },
+                )
+            })
+            .fold(0.0, f64::max);
+        assert!((a.constraint_used - per_layer_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_override_wins() {
+        let p = HwProblem::builder(dnn_models::tiny_cnn())
+            .budget_override(123.0)
+            .build();
+        assert_eq!(p.budget(), 123.0);
+    }
+}

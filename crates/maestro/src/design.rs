@@ -1,0 +1,103 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Dataflow, Layer, MaestroError};
+
+/// A hardware design point: the pair of free variables the search explores.
+///
+/// * `num_pes` — number of processing elements (each with one MAC unit).
+/// * `tile` — per-PE filter tile `kt`; together with the dataflow style and
+///   the layer's filter shape it determines the per-PE L1 buffer size (see
+///   [`Dataflow::l1_bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignPoint {
+    num_pes: u64,
+    tile: u64,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidDesignPoint`] if either parameter is 0.
+    pub fn new(num_pes: u64, tile: u64) -> Result<Self, MaestroError> {
+        if num_pes == 0 {
+            return Err(MaestroError::InvalidDesignPoint {
+                reason: "num_pes must be >= 1".to_string(),
+            });
+        }
+        if tile == 0 {
+            return Err(MaestroError::InvalidDesignPoint {
+                reason: "tile must be >= 1".to_string(),
+            });
+        }
+        Ok(DesignPoint { num_pes, tile })
+    }
+
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> u64 {
+        self.num_pes
+    }
+
+    /// Per-PE filter tile `kt`.
+    pub fn tile(&self) -> u64 {
+        self.tile
+    }
+
+    /// Per-PE L1 buffer size in bytes for the given layer and dataflow.
+    pub fn l1_bytes(&self, dataflow: Dataflow, layer: &Layer) -> f64 {
+        dataflow.l1_bytes(layer, self.tile)
+    }
+
+    /// Returns a copy with a different PE count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidDesignPoint`] if `num_pes` is 0.
+    pub fn with_num_pes(&self, num_pes: u64) -> Result<Self, MaestroError> {
+        Self::new(num_pes, self.tile)
+    }
+
+    /// Returns a copy with a different tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidDesignPoint`] if `tile` is 0.
+    pub fn with_tile(&self, tile: u64) -> Result<Self, MaestroError> {
+        Self::new(self.num_pes, tile)
+    }
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(PE={}, kt={})", self.num_pes, self.tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(DesignPoint::new(0, 1).is_err());
+        assert!(DesignPoint::new(1, 0).is_err());
+        assert!(DesignPoint::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn l1_bytes_delegates_to_dataflow() {
+        let layer = Layer::conv2d("l", 8, 8, 8, 8, 3, 3, 1).unwrap();
+        let dp = DesignPoint::new(4, 3).unwrap();
+        assert_eq!(dp.l1_bytes(Dataflow::NvdlaStyle, &layer), 39.0);
+    }
+
+    #[test]
+    fn with_methods_validate() {
+        let dp = DesignPoint::new(4, 3).unwrap();
+        assert_eq!(dp.with_num_pes(8).unwrap().num_pes(), 8);
+        assert_eq!(dp.with_tile(5).unwrap().tile(), 5);
+        assert!(dp.with_num_pes(0).is_err());
+        assert!(dp.with_tile(0).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing invalid layers or design points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaestroError {
+    /// A layer dimension was zero or otherwise out of range.
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A design point parameter was zero or otherwise out of range.
+    InvalidDesignPoint {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MaestroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaestroError::InvalidLayer { layer, reason } => {
+                write!(f, "invalid layer `{layer}`: {reason}")
+            }
+            MaestroError::InvalidDesignPoint { reason } => {
+                write!(f, "invalid design point: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MaestroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_layer_name() {
+        let err = MaestroError::InvalidLayer {
+            layer: "conv1".to_string(),
+            reason: "K must be >= 1".to_string(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("conv1"));
+        assert!(msg.contains("K must be >= 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MaestroError>();
+    }
+}

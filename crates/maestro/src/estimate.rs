@@ -1,0 +1,428 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AreaBreakdown, CostReport, Dataflow, DesignPoint, EnergyBreakdown, Layer, SpatialMapping,
+    TechModel,
+};
+
+/// Analytical cost model: evaluates a `(layer, dataflow, design point)`
+/// triple into a [`CostReport`].
+///
+/// The model follows the structure of MAESTRO's analysis:
+///
+/// 1. **Spatial mapping** — factor the PE array over the dataflow's two
+///    parallel dimensions ([`SpatialMapping::factor`]).
+/// 2. **Temporal tiling** — derive iteration counts from the per-PE filter
+///    tile `kt` and the layer extents.
+/// 3. **Reuse analysis** — per-dataflow L2→L1 and DRAM→L2 traffic, driven by
+///    which operand is stationary and which dimensions are revisited.
+/// 4. **Roofline latency** — compute cycles vs. DRAM streaming cycles.
+/// 5. **Cost accounting** — energy per access level, SRAM/MAC/NoC area,
+///    dynamic + leakage power.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    tech: TechModel,
+}
+
+/// Per-dataflow traffic analysis in *elements* (converted to bytes at the
+/// accounting stage).
+struct TrafficModel {
+    /// Elements fetched from L2 into the PE array (counting multicasts once).
+    l2_to_l1_elems: f64,
+    /// Elements written back from the array to L2 (outputs + psum spills).
+    l1_to_l2_elems: f64,
+    /// Elements streamed in from DRAM.
+    dram_in_elems: f64,
+    /// Elements streamed out to DRAM.
+    dram_out_elems: f64,
+    /// Per-step working set held in L2 (elements), before double-buffering.
+    l2_tile_elems: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model with custom technology constants.
+    pub fn new(tech: TechModel) -> Self {
+        CostModel { tech }
+    }
+
+    /// The technology constants in use.
+    pub fn tech(&self) -> &TechModel {
+        &self.tech
+    }
+
+    /// Evaluates one layer on one design point under one dataflow style.
+    ///
+    /// The returned report is always "physical": finite, non-negative, with
+    /// `latency >= 1` and `utilization` in `(0, 1]`.
+    pub fn evaluate(&self, layer: &Layer, dataflow: Dataflow, point: DesignPoint) -> CostReport {
+        let p = point.num_pes();
+        let kt = point.tile().min(layer.k().max(1));
+        let (d_outer, d_inner) = dataflow.parallel_extents(layer, kt);
+        let mapping = SpatialMapping::factor(p, d_outer, d_inner);
+        let compute_cycles = self.compute_cycles(layer, dataflow, kt, &mapping);
+        let traffic = self.traffic(layer, dataflow, kt, &mapping);
+        self.account(layer, dataflow, point, kt, &mapping, compute_cycles, traffic)
+    }
+
+    /// Compute-bound cycles: temporal iterations × per-PE work per iteration,
+    /// at one MAC per PE per cycle.
+    fn compute_cycles(
+        &self,
+        layer: &Layer,
+        dataflow: Dataflow,
+        kt: u64,
+        m: &SpatialMapping,
+    ) -> f64 {
+        let ktf = kt as f64;
+        let r = layer.r() as f64;
+        let s = layer.s() as f64;
+        let yo = layer.out_y() as f64;
+        let xo = layer.out_x() as f64;
+        let c_red = layer.reduction_channels() as f64;
+        let k_groups = layer.k().div_ceil(kt) as f64;
+        match dataflow {
+            // Outer = K-groups, inner = reduction channels; temporal loop
+            // over every output position. Each PE does kt·R·S MACs per
+            // position for its (k-group, channel) assignment.
+            Dataflow::NvdlaStyle => m.temporal_iters() * yo * xo * ktf * r * s,
+            // Outer = Y', inner = R; temporal loop over k-groups, channels
+            // and X'. Each PE convolves one filter row for kt filters: kt·S
+            // MACs per step.
+            Dataflow::EyerissStyle => {
+                m.temporal_iters() * k_groups * c_red * xo * ktf * s
+            }
+            // Outer = Y', inner = X'; temporal loop over k-groups and the
+            // full reduction. Each PE accumulates kt output channels for its
+            // pixel: kt·R·S MACs per channel step.
+            Dataflow::ShiDianNaoStyle => m.temporal_iters() * k_groups * c_red * ktf * r * s,
+        }
+    }
+
+    /// Per-dataflow reuse/traffic analysis (in elements).
+    fn traffic(
+        &self,
+        layer: &Layer,
+        dataflow: Dataflow,
+        kt: u64,
+        m: &SpatialMapping,
+    ) -> TrafficModel {
+        let weights = layer.weight_elems();
+        let inputs = layer.input_elems();
+        let outputs = layer.output_elems();
+        let r = layer.r() as f64;
+        let s = layer.s() as f64;
+        let ktf = kt as f64;
+        match dataflow {
+            Dataflow::NvdlaStyle => {
+                // Weight-stationary: weights enter L1 once per (k-group,
+                // channel) visit and persist across all output positions.
+                let w_l2l1 = weights;
+                // Inputs are multicast across the K-parallel PEs (counted
+                // once) but revisited for every temporal k-group pass.
+                // Depth-wise layers are the exception: each output channel
+                // reads only its own input channel, so k-group passes never
+                // re-touch the same input data.
+                let in_passes = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
+                    1.0
+                } else {
+                    m.t_outer as f64
+                };
+                let in_l2l1 = inputs * in_passes;
+                // Partial sums spill to L2 whenever the reduction is split
+                // temporally across channel tiles.
+                let psum_rounds = m.t_inner as f64;
+                let out_l1l2 = outputs * psum_rounds;
+                let out_reread = outputs * (psum_rounds - 1.0).max(0.0);
+                let l2_tile = (m.used_pes() as f64) * ktf * r * s // weights
+                    + (m.p_inner as f64) * r * s                  // input patches
+                    + (m.p_outer as f64) * ktf; // psums
+                TrafficModel {
+                    l2_to_l1_elems: w_l2l1 + in_l2l1 + out_reread,
+                    l1_to_l2_elems: out_l1l2,
+                    dram_in_elems: weights + inputs * in_passes,
+                    dram_out_elems: outputs,
+                    l2_tile_elems: l2_tile,
+                }
+            }
+            Dataflow::EyerissStyle => {
+                // Row-stationary: filter rows persist across X'; they are
+                // re-broadcast for every temporal Y'-tile pass.
+                let w_passes = m.t_outer as f64;
+                let w_l2l1 = weights * w_passes;
+                // Input rows are shared diagonally across the array; each
+                // k-group pass re-reads the input once.
+                let in_passes = layer.k().div_ceil(kt) as f64 / (layer.k() as f64 / ktf).max(1.0);
+                let in_l2l1 = inputs * in_passes.max(1.0);
+                // Psums accumulate across R spatially and C temporally in
+                // L1: outputs leave the array once.
+                let out_l1l2 = outputs;
+                let l2_tile = (m.used_pes() as f64) * ktf * s
+                    + (m.p_outer as f64) * layer.x() as f64
+                    + (m.p_outer as f64) * layer.out_x() as f64;
+                TrafficModel {
+                    l2_to_l1_elems: w_l2l1 + in_l2l1,
+                    l1_to_l2_elems: out_l1l2,
+                    dram_in_elems: weights + inputs,
+                    dram_out_elems: outputs,
+                    l2_tile_elems: l2_tile,
+                }
+            }
+            Dataflow::ShiDianNaoStyle => {
+                // Output-stationary: psums never leave L1 until complete.
+                let out_l1l2 = outputs;
+                // Weights are broadcast to the whole array, re-streamed for
+                // every spatial output tile.
+                let w_passes = m.temporal_iters();
+                let w_l2l1 = weights * w_passes;
+                // Inputs are shared between neighbouring PEs (halo reuse);
+                // each k-group pass re-reads the input — except depth-wise
+                // layers, whose channels read disjoint input slices.
+                let k_groups = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
+                    1.0
+                } else {
+                    layer.k().div_ceil(kt) as f64
+                };
+                let in_l2l1 = inputs * k_groups.min(4.0).max(1.0);
+                let l2_tile = ktf * r * s // broadcast weight tile
+                    + (m.used_pes() as f64) * r * s / r.max(1.0) // halo-shared inputs
+                    + (m.used_pes() as f64) * ktf; // resident psums
+                TrafficModel {
+                    l2_to_l1_elems: w_l2l1 + in_l2l1,
+                    l1_to_l2_elems: out_l1l2,
+                    dram_in_elems: weights * w_passes.min(8.0) + inputs,
+                    dram_out_elems: outputs,
+                    l2_tile_elems: l2_tile,
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn account(
+        &self,
+        layer: &Layer,
+        dataflow: Dataflow,
+        point: DesignPoint,
+        kt: u64,
+        mapping: &SpatialMapping,
+        compute_cycles: f64,
+        traffic: TrafficModel,
+    ) -> CostReport {
+        let t = &self.tech;
+        let bytes = t.bytes_per_elem;
+        let macs = layer.macs();
+        let p = point.num_pes() as f64;
+
+        let l2_traffic_bytes = (traffic.l2_to_l1_elems + traffic.l1_to_l2_elems) * bytes;
+        let dram_bytes = (traffic.dram_in_elems + traffic.dram_out_elems) * bytes;
+        let l1_bytes_per_pe = dataflow.l1_bytes(layer, kt);
+        let l2_bytes = 2.0 * traffic.l2_tile_elems * bytes; // double-buffered
+
+        // --- Latency: roofline of compute vs. DRAM streaming. ---
+        let compute_cycles = compute_cycles.max(1.0);
+        let dram_cycles = dram_bytes / t.dram_bw_bytes_per_cycle;
+        let latency = compute_cycles.max(dram_cycles) + t.startup_cycles;
+        let stall = (dram_cycles - compute_cycles).max(0.0);
+
+        // --- NoC bandwidth provisioned for stall-free L2<->L1 delivery. ---
+        let noc_bw = (l2_traffic_bytes / compute_cycles).max(1.0);
+
+        // --- Energy. ---
+        // Every MAC reads a weight and an input and updates a psum in L1;
+        // larger L1s pay a mild per-access premium (wordline/bitline length).
+        let l1_access_factor = 1.0 + 0.08 * (l1_bytes_per_pe / 16.0).max(1.0).log2();
+        let l1_accesses = macs * 3.0 * bytes;
+        let energy = EnergyBreakdown {
+            mac_nj: macs * t.e_mac_pj * 1e-3,
+            l1_nj: l1_accesses * t.e_l1_pj_per_byte * l1_access_factor * 1e-3,
+            l2_nj: l2_traffic_bytes * t.e_l2_pj_per_byte * 1e-3,
+            dram_nj: dram_bytes * t.e_dram_pj_per_byte * 1e-3,
+            noc_nj: l2_traffic_bytes * t.e_noc_pj_per_byte_hop * p.sqrt().max(1.0) * 1e-3,
+        };
+
+        // --- Area. ---
+        let area = AreaBreakdown {
+            pe_um2: p * t.mac_area_um2,
+            l1_um2: p * l1_bytes_per_pe * t.sram_area_um2_per_byte,
+            l2_um2: l2_bytes * t.sram_area_um2_per_byte,
+            noc_um2: p * t.noc_area_um2_per_pe + noc_bw * t.noc_area_um2_per_bw_byte,
+        };
+
+        // --- Power: on-chip dynamic energy averaged over runtime + leakage. ---
+        let runtime_ns = latency / t.freq_ghz;
+        let dynamic_mw = energy.on_chip_nj() * 1e3 / runtime_ns; // nJ/ns = W -> mW
+        let leakage_mw = area.total_um2() * t.leak_mw_per_um2;
+        let power_mw = dynamic_mw + leakage_mw;
+
+        let utilization = (macs / (p * compute_cycles)).clamp(0.0, 1.0);
+        let _ = mapping;
+
+        CostReport {
+            latency_cycles: latency,
+            compute_cycles,
+            stall_cycles: stall,
+            energy_nj: energy.total_nj(),
+            energy,
+            area_um2: area.total_um2(),
+            area,
+            power_mw,
+            utilization,
+            l1_bytes_per_pe,
+            l2_bytes,
+            macs,
+            dram_bytes,
+            l2_traffic_bytes,
+            noc_bw_bytes_per_cycle: noc_bw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> Layer {
+        Layer::conv2d("conv", 64, 32, 28, 28, 3, 3, 1).unwrap()
+    }
+
+    fn dw() -> Layer {
+        Layer::depthwise("dw", 96, 28, 28, 3, 3, 1).unwrap()
+    }
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    fn dp(p: u64, kt: u64) -> DesignPoint {
+        DesignPoint::new(p, kt).unwrap()
+    }
+
+    #[test]
+    fn single_pe_latency_near_total_macs() {
+        let layer = conv();
+        let cost = model().evaluate(&layer, Dataflow::NvdlaStyle, dp(1, 1));
+        // One MAC per cycle: compute cycles should be within rounding of
+        // the MAC count.
+        assert!(cost.compute_cycles >= layer.macs());
+        assert!(cost.compute_cycles <= layer.macs() * 1.2);
+    }
+
+    #[test]
+    fn more_pes_reduce_latency_until_saturation() {
+        let layer = conv();
+        let m = model();
+        for df in Dataflow::ALL {
+            let l1 = m.evaluate(&layer, df, dp(1, 4)).latency_cycles;
+            let l16 = m.evaluate(&layer, df, dp(16, 4)).latency_cycles;
+            let l64 = m.evaluate(&layer, df, dp(64, 4)).latency_cycles;
+            assert!(l16 < l1, "{df}: 16 PEs must beat 1 PE");
+            assert!(l64 <= l16, "{df}: 64 PEs must not lose to 16 PEs");
+        }
+    }
+
+    #[test]
+    fn oversized_array_saturates() {
+        // A tiny layer cannot use 4096 PEs; latency should plateau.
+        let layer = Layer::conv2d("tiny", 4, 4, 8, 8, 3, 3, 1).unwrap();
+        let m = model();
+        let a = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(64, 1));
+        let b = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(4096, 1));
+        assert!(b.compute_cycles >= a.compute_cycles * 0.99);
+        assert!(b.utilization < a.utilization);
+    }
+
+    #[test]
+    fn depthwise_gains_little_from_nvdla_channel_parallelism() {
+        // With kt = K the NVDLA K-group axis collapses for DWCONV, so adding
+        // PEs beyond the group count is wasted; ShiDianNao keeps scaling.
+        let layer = dw();
+        let m = model();
+        let dla_small = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(8, 12));
+        let dla_big = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(128, 12));
+        let shi_small = m.evaluate(&layer, Dataflow::ShiDianNaoStyle, dp(8, 12));
+        let shi_big = m.evaluate(&layer, Dataflow::ShiDianNaoStyle, dp(128, 12));
+        let dla_speedup = dla_small.compute_cycles / dla_big.compute_cycles;
+        let shi_speedup = shi_small.compute_cycles / shi_big.compute_cycles;
+        assert!(
+            shi_speedup > dla_speedup,
+            "spatial dataflow should scale better on DWCONV: shi {shi_speedup:.2} vs dla {dla_speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn bigger_tiles_cut_nvdla_input_refetch_energy() {
+        let layer = conv();
+        let m = model();
+        let small = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(16, 1));
+        let big = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(16, 12));
+        assert!(
+            big.dram_bytes < small.dram_bytes,
+            "bigger kt => fewer k-group passes => less input refetch"
+        );
+    }
+
+    #[test]
+    fn area_grows_with_pes_and_tile() {
+        let layer = conv();
+        let m = model();
+        let base = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(8, 2));
+        let more_pes = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(32, 2));
+        let more_buf = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(8, 12));
+        assert!(more_pes.area_um2 > base.area_um2);
+        assert!(more_buf.area_um2 > base.area_um2);
+        assert!(more_buf.area.l1_um2 > base.area.l1_um2);
+    }
+
+    #[test]
+    fn reports_are_physical_across_the_grid() {
+        let layers = [
+            conv(),
+            dw(),
+            Layer::gemm("fc", 512, 64, 1024).unwrap(),
+            Layer::conv2d("s2", 32, 16, 15, 15, 3, 3, 2).unwrap(),
+        ];
+        let m = model();
+        for layer in &layers {
+            for df in Dataflow::ALL {
+                for &p in &[1u64, 2, 8, 64, 128, 1024] {
+                    for &kt in &[1u64, 3, 12, 100] {
+                        let cost = m.evaluate(layer, df, dp(p, kt));
+                        assert!(cost.is_physical(), "{} {df} p={p} kt={kt}", layer.name());
+                        assert!(cost.latency_cycles >= 1.0);
+                        assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let cost = model().evaluate(&conv(), Dataflow::EyerissStyle, dp(16, 4));
+        assert!((cost.energy.total_nj() - cost.energy_nj).abs() < 1e-9);
+        assert!((cost.area.total_um2() - cost.area_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_prefers_channel_parallel_dataflow() {
+        // A square GEMM has no spatial structure for eye to exploit (R=1).
+        let layer = Layer::gemm("fc", 256, 1, 256).unwrap();
+        let m = model();
+        let dla = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(64, 4));
+        let eye = m.evaluate(&layer, Dataflow::EyerissStyle, dp(64, 4));
+        assert!(
+            dla.compute_cycles < eye.compute_cycles,
+            "dla {} vs eye {}",
+            dla.compute_cycles,
+            eye.compute_cycles
+        );
+    }
+
+    #[test]
+    fn tile_clamped_to_layer_channels() {
+        // kt > K must not panic or inflate work.
+        let layer = Layer::conv2d("small", 2, 2, 8, 8, 3, 3, 1).unwrap();
+        let cost = model().evaluate(&layer, Dataflow::NvdlaStyle, dp(4, 12));
+        assert!(cost.is_physical());
+    }
+}

@@ -1,0 +1,306 @@
+use serde::{Deserialize, Serialize};
+
+use crate::MaestroError;
+
+/// Kind of a DNN layer, determining how work is counted and parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard 2-D convolution: every output channel reduces over all `C`
+    /// input channels.
+    Conv2d,
+    /// Depth-wise 2-D convolution: channel `k` only reads input channel `k`
+    /// (`K == C`), so there is no cross-channel reduction to parallelize.
+    DepthwiseConv2d,
+    /// A dense matrix multiply `M×K · K×N` (fully-connected layers, attention
+    /// projections, embedding products). Encoded on the convolution template
+    /// as `K=M, C=K, Y'=N, X'=R=S=1` (footnote 3 of the paper).
+    Gemm,
+}
+
+impl LayerKind {
+    /// Short tag used in observation encodings and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LayerKind::Conv2d => "CONV2D",
+            LayerKind::DepthwiseConv2d => "DWCONV",
+            LayerKind::Gemm => "GEMM",
+        }
+    }
+
+    /// Numeric layer-type indicator used as the `T_t` observation dimension.
+    pub fn type_id(self) -> u64 {
+        match self {
+            LayerKind::Conv2d => 0,
+            LayerKind::DepthwiseConv2d => 1,
+            LayerKind::Gemm => 2,
+        }
+    }
+}
+
+/// Shape of one DNN layer in the seven-dimensional convolution template
+/// `(K, C, Y, X, R, S, type)` used by the paper's observation space (Eq. 1).
+///
+/// `Y`/`X` are *input* activation sizes; output sizes derive from the filter
+/// and stride. GEMM layers are embedded via [`Layer::gemm`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    k: u64,
+    c: u64,
+    y: u64,
+    x: u64,
+    r: u64,
+    s: u64,
+    stride: u64,
+}
+
+impl Layer {
+    /// Creates a standard convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidLayer`] if any dimension is zero, if
+    /// the filter is larger than the (implicitly padded) input, or if the
+    /// stride is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: &str,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> Result<Self, MaestroError> {
+        Self::build(name, LayerKind::Conv2d, k, c, y, x, r, s, stride)
+    }
+
+    /// Creates a depth-wise convolution layer with `channels` groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidLayer`] under the same conditions as
+    /// [`Layer::conv2d`].
+    pub fn depthwise(
+        name: &str,
+        channels: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> Result<Self, MaestroError> {
+        Self::build(
+            name,
+            LayerKind::DepthwiseConv2d,
+            channels,
+            channels,
+            y,
+            x,
+            r,
+            s,
+            stride,
+        )
+    }
+
+    /// Creates a GEMM layer computing an `m×k_dim` by `k_dim×n` product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaestroError::InvalidLayer`] if any of `m`, `n`, `k_dim`
+    /// is zero.
+    pub fn gemm(name: &str, m: u64, n: u64, k_dim: u64) -> Result<Self, MaestroError> {
+        Self::build(name, LayerKind::Gemm, m, k_dim, n, 1, 1, 1, 1)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: &str,
+        kind: LayerKind,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> Result<Self, MaestroError> {
+        let fail = |reason: &str| {
+            Err(MaestroError::InvalidLayer {
+                layer: name.to_string(),
+                reason: reason.to_string(),
+            })
+        };
+        if k == 0 || c == 0 || y == 0 || x == 0 || r == 0 || s == 0 {
+            return fail("all dimensions must be >= 1");
+        }
+        if stride == 0 {
+            return fail("stride must be >= 1");
+        }
+        if r > y || s > x {
+            return fail("filter must not exceed the input extent");
+        }
+        if kind == LayerKind::DepthwiseConv2d && k != c {
+            return fail("depth-wise layers require K == C");
+        }
+        Ok(Layer {
+            name: name.to_string(),
+            kind,
+            k,
+            c,
+            y,
+            x,
+            r,
+            s,
+            stride,
+        })
+    }
+
+    /// Layer name (unique within a model by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Number of output channels (`K`), or `M` for GEMM.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of input channels (`C`), or the reduction dimension for GEMM.
+    pub fn c(&self) -> u64 {
+        self.c
+    }
+
+    /// Input activation height (`Y`), or `N` for GEMM.
+    pub fn y(&self) -> u64 {
+        self.y
+    }
+
+    /// Input activation width (`X`); 1 for GEMM.
+    pub fn x(&self) -> u64 {
+        self.x
+    }
+
+    /// Filter height (`R`); 1 for GEMM.
+    pub fn r(&self) -> u64 {
+        self.r
+    }
+
+    /// Filter width (`S`); 1 for GEMM.
+    pub fn s(&self) -> u64 {
+        self.s
+    }
+
+    /// Convolution stride (both spatial axes).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Output height `Y' = floor((Y - R) / stride) + 1`.
+    pub fn out_y(&self) -> u64 {
+        (self.y - self.r) / self.stride + 1
+    }
+
+    /// Output width `X' = floor((X - S) / stride) + 1`.
+    pub fn out_x(&self) -> u64 {
+        (self.x - self.s) / self.stride + 1
+    }
+
+    /// The number of input channels each output channel actually reduces
+    /// over: `C` for convolution/GEMM, `1` for depth-wise convolution.
+    pub fn reduction_channels(&self) -> u64 {
+        match self.kind {
+            LayerKind::DepthwiseConv2d => 1,
+            _ => self.c,
+        }
+    }
+
+    /// Total multiply-accumulate operations in the layer.
+    pub fn macs(&self) -> f64 {
+        self.k as f64
+            * self.reduction_channels() as f64
+            * self.out_y() as f64
+            * self.out_x() as f64
+            * self.r as f64
+            * self.s as f64
+    }
+
+    /// Number of weight elements.
+    pub fn weight_elems(&self) -> f64 {
+        self.k as f64 * self.reduction_channels() as f64 * self.r as f64 * self.s as f64
+    }
+
+    /// Number of input activation elements.
+    pub fn input_elems(&self) -> f64 {
+        self.c as f64 * self.y as f64 * self.x as f64
+    }
+
+    /// Number of output activation elements.
+    pub fn output_elems(&self) -> f64 {
+        self.k as f64 * self.out_y() as f64 * self.out_x() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        let l = Layer::conv2d("l", 8, 4, 10, 10, 3, 3, 1).unwrap();
+        assert_eq!(l.out_y(), 8);
+        assert_eq!(l.out_x(), 8);
+        assert_eq!(l.macs(), 8.0 * 4.0 * 8.0 * 8.0 * 9.0);
+    }
+
+    #[test]
+    fn strided_conv_output_dims() {
+        let l = Layer::conv2d("l", 8, 4, 11, 11, 3, 3, 2).unwrap();
+        assert_eq!(l.out_y(), 5);
+        assert_eq!(l.out_x(), 5);
+    }
+
+    #[test]
+    fn depthwise_counts_one_reduction_channel() {
+        let l = Layer::depthwise("dw", 32, 10, 10, 3, 3, 1).unwrap();
+        assert_eq!(l.reduction_channels(), 1);
+        assert_eq!(l.macs(), 32.0 * 8.0 * 8.0 * 9.0);
+        assert_eq!(l.weight_elems(), 32.0 * 9.0);
+    }
+
+    #[test]
+    fn gemm_maps_onto_conv_template() {
+        let l = Layer::gemm("fc", 100, 50, 200).unwrap();
+        assert_eq!(l.k(), 100);
+        assert_eq!(l.c(), 200);
+        assert_eq!(l.out_y(), 50);
+        assert_eq!(l.out_x(), 1);
+        assert_eq!(l.macs(), 100.0 * 200.0 * 50.0);
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert!(Layer::conv2d("bad", 0, 4, 10, 10, 3, 3, 1).is_err());
+        assert!(Layer::conv2d("bad", 4, 4, 10, 10, 3, 3, 0).is_err());
+        assert!(Layer::gemm("bad", 10, 0, 10).is_err());
+    }
+
+    #[test]
+    fn oversized_filter_is_rejected() {
+        assert!(Layer::conv2d("bad", 4, 4, 2, 2, 3, 3, 1).is_err());
+    }
+
+    #[test]
+    fn macs_are_positive_and_finite() {
+        let l = Layer::conv2d("l", 512, 512, 14, 14, 3, 3, 1).unwrap();
+        assert!(l.macs().is_finite());
+        assert!(l.macs() > 0.0);
+    }
+}

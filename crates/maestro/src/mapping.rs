@@ -1,0 +1,150 @@
+use serde::{Deserialize, Serialize};
+
+/// How the PE array is factored across the two parallel loop dimensions of a
+/// dataflow, plus the resulting temporal iteration counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialMapping {
+    /// PEs assigned along the dataflow's outer parallel dimension.
+    pub p_outer: u64,
+    /// PEs assigned along the dataflow's inner parallel dimension.
+    pub p_inner: u64,
+    /// Temporal iterations needed to cover the outer dimension.
+    pub t_outer: u64,
+    /// Temporal iterations needed to cover the inner dimension.
+    pub t_inner: u64,
+}
+
+impl SpatialMapping {
+    /// Factors `num_pes` across the two parallel extents `(d_outer, d_inner)`
+    /// so that `p_outer * p_inner <= num_pes`, `p_outer <= d_outer`,
+    /// `p_inner <= d_inner`, maximizing the number of *useful* PEs.
+    ///
+    /// Both allocation orders (outer-first and inner-first) plus a balanced
+    /// split are tried and the best kept, mirroring how a designer would
+    /// shape the array for the layer.
+    pub fn factor(num_pes: u64, d_outer: u64, d_inner: u64) -> SpatialMapping {
+        assert!(num_pes >= 1 && d_outer >= 1 && d_inner >= 1);
+        let candidates = [
+            Self::try_split(num_pes, d_outer, d_inner, true),
+            Self::try_split(num_pes, d_outer, d_inner, false),
+            Self::balanced_split(num_pes, d_outer, d_inner),
+        ];
+        candidates
+            .into_iter()
+            .max_by(|a, b| {
+                let ua = a.p_outer * a.p_inner;
+                let ub = b.p_outer * b.p_inner;
+                // Prefer more parallelism; break ties toward fewer temporal
+                // iterations (less tile-edge waste).
+                ua.cmp(&ub)
+                    .then((b.t_outer * b.t_inner).cmp(&(a.t_outer * a.t_inner)))
+            })
+            .expect("three candidates always exist")
+    }
+
+    fn try_split(num_pes: u64, d_outer: u64, d_inner: u64, outer_first: bool) -> SpatialMapping {
+        let (p_outer, p_inner) = if outer_first {
+            let p_outer = d_outer.min(num_pes).max(1);
+            let p_inner = d_inner.min(num_pes / p_outer).max(1);
+            (p_outer, p_inner)
+        } else {
+            let p_inner = d_inner.min(num_pes).max(1);
+            let p_outer = d_outer.min(num_pes / p_inner).max(1);
+            (p_outer, p_inner)
+        };
+        SpatialMapping {
+            p_outer,
+            p_inner,
+            t_outer: d_outer.div_ceil(p_outer),
+            t_inner: d_inner.div_ceil(p_inner),
+        }
+    }
+
+    fn balanced_split(num_pes: u64, d_outer: u64, d_inner: u64) -> SpatialMapping {
+        let root = (num_pes as f64).sqrt().floor().max(1.0) as u64;
+        let p_outer = d_outer.min(root).max(1);
+        let p_inner = d_inner.min(num_pes / p_outer).max(1);
+        SpatialMapping {
+            p_outer,
+            p_inner,
+            t_outer: d_outer.div_ceil(p_outer),
+            t_inner: d_inner.div_ceil(p_inner),
+        }
+    }
+
+    /// Number of PEs that actually receive work.
+    pub fn used_pes(&self) -> u64 {
+        self.p_outer * self.p_inner
+    }
+
+    /// Total temporal iterations over both tiled dimensions.
+    pub fn temporal_iters(&self) -> f64 {
+        self.t_outer as f64 * self.t_inner as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_fit_uses_all_pes() {
+        let m = SpatialMapping::factor(64, 8, 8);
+        assert_eq!(m.used_pes(), 64);
+        assert_eq!(m.t_outer, 1);
+        assert_eq!(m.t_inner, 1);
+    }
+
+    #[test]
+    fn small_extents_cap_parallelism() {
+        // Only 2x3 = 6 useful positions even with 64 PEs.
+        let m = SpatialMapping::factor(64, 2, 3);
+        assert_eq!(m.used_pes(), 6);
+    }
+
+    #[test]
+    fn single_pe_serializes_everything() {
+        let m = SpatialMapping::factor(1, 17, 5);
+        assert_eq!(m.used_pes(), 1);
+        assert_eq!(m.t_outer, 17);
+        assert_eq!(m.t_inner, 5);
+    }
+
+    #[test]
+    fn skewed_extents_pick_good_order() {
+        // 128 PEs over (256, 2): outer-first gives 128x1; inner-first 64x2.
+        // Both use 128 PEs; either is acceptable.
+        let m = SpatialMapping::factor(128, 256, 2);
+        assert_eq!(m.used_pes(), 128);
+    }
+
+    proptest! {
+        #[test]
+        fn factorization_invariants(
+            num_pes in 1u64..=4096,
+            d_outer in 1u64..=512,
+            d_inner in 1u64..=512,
+        ) {
+            let m = SpatialMapping::factor(num_pes, d_outer, d_inner);
+            prop_assert!(m.p_outer >= 1 && m.p_inner >= 1);
+            prop_assert!(m.p_outer <= d_outer);
+            prop_assert!(m.p_inner <= d_inner);
+            prop_assert!(m.used_pes() <= num_pes);
+            // Coverage: spatial x temporal covers the full extent.
+            prop_assert!(m.p_outer * m.t_outer >= d_outer);
+            prop_assert!(m.p_inner * m.t_inner >= d_inner);
+        }
+
+        #[test]
+        fn more_pes_never_reduce_parallelism(
+            num_pes in 1u64..=2048,
+            d_outer in 1u64..=256,
+            d_inner in 1u64..=256,
+        ) {
+            let a = SpatialMapping::factor(num_pes, d_outer, d_inner);
+            let b = SpatialMapping::factor(num_pes * 2, d_outer, d_inner);
+            prop_assert!(b.used_pes() >= a.used_pes());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed per component, in nJ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC (datapath) energy.
+    pub mac_nj: f64,
+    /// L1 scratchpad access energy.
+    pub l1_nj: f64,
+    /// L2 global-buffer access energy.
+    pub l2_nj: f64,
+    /// Off-chip DRAM access energy.
+    pub dram_nj: f64,
+    /// Network-on-chip traversal energy.
+    pub noc_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.mac_nj + self.l1_nj + self.l2_nj + self.dram_nj + self.noc_nj
+    }
+
+    /// On-chip energy (everything except DRAM), in nJ. Used for the chip
+    /// power estimate.
+    pub fn on_chip_nj(&self) -> f64 {
+        self.mac_nj + self.l1_nj + self.l2_nj + self.noc_nj
+    }
+}
+
+/// Silicon area per component, in µm².
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// PE datapath (MAC + control) area.
+    pub pe_um2: f64,
+    /// Aggregate L1 scratchpad area across all PEs.
+    pub l1_um2: f64,
+    /// Shared L2 buffer area.
+    pub l2_um2: f64,
+    /// NoC links and switches.
+    pub noc_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.pe_um2 + self.l1_um2 + self.l2_um2 + self.noc_um2
+    }
+}
+
+/// Full cost report for running one layer on one design point.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// End-to-end latency in cycles (compute, memory stalls, and startup).
+    pub latency_cycles: f64,
+    /// Pure compute cycles (roofline compute bound).
+    pub compute_cycles: f64,
+    /// Cycles lost waiting on DRAM (roofline memory bound minus overlap).
+    pub stall_cycles: f64,
+    /// Total energy in nJ (including DRAM).
+    pub energy_nj: f64,
+    /// Per-component energy.
+    pub energy: EnergyBreakdown,
+    /// Total area in µm².
+    pub area_um2: f64,
+    /// Per-component area.
+    pub area: AreaBreakdown,
+    /// Average chip power in mW (on-chip dynamic + leakage).
+    pub power_mw: f64,
+    /// Fraction of PE-cycles doing useful MACs, in (0, 1].
+    pub utilization: f64,
+    /// Per-PE L1 bytes for this (layer, dataflow, tile).
+    pub l1_bytes_per_pe: f64,
+    /// Shared L2 bytes (double-buffered tile working set).
+    pub l2_bytes: f64,
+    /// Total MAC operations.
+    pub macs: f64,
+    /// Bytes moved between DRAM and L2.
+    pub dram_bytes: f64,
+    /// Bytes moved between L2 and the PE array.
+    pub l2_traffic_bytes: f64,
+    /// Provisioned NoC bandwidth (bytes/cycle) for stall-free operand
+    /// delivery at this design point.
+    pub noc_bw_bytes_per_cycle: f64,
+}
+
+impl CostReport {
+    /// Sums two reports (used for whole-model accumulation). Latency and
+    /// energy add; area fields take the pairwise max since sequential layers
+    /// reuse the same silicon (LS). For LP-style area accounting use
+    /// [`CostReport::stack`].
+    pub fn merge_sequential(&self, other: &CostReport) -> CostReport {
+        CostReport {
+            latency_cycles: self.latency_cycles + other.latency_cycles,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
+            energy_nj: self.energy_nj + other.energy_nj,
+            energy: EnergyBreakdown {
+                mac_nj: self.energy.mac_nj + other.energy.mac_nj,
+                l1_nj: self.energy.l1_nj + other.energy.l1_nj,
+                l2_nj: self.energy.l2_nj + other.energy.l2_nj,
+                dram_nj: self.energy.dram_nj + other.energy.dram_nj,
+                noc_nj: self.energy.noc_nj + other.energy.noc_nj,
+            },
+            area_um2: self.area_um2.max(other.area_um2),
+            area: AreaBreakdown {
+                pe_um2: self.area.pe_um2.max(other.area.pe_um2),
+                l1_um2: self.area.l1_um2.max(other.area.l1_um2),
+                l2_um2: self.area.l2_um2.max(other.area.l2_um2),
+                noc_um2: self.area.noc_um2.max(other.area.noc_um2),
+            },
+            power_mw: self.power_mw.max(other.power_mw),
+            utilization: 0.0,
+            l1_bytes_per_pe: self.l1_bytes_per_pe.max(other.l1_bytes_per_pe),
+            l2_bytes: self.l2_bytes.max(other.l2_bytes),
+            macs: self.macs + other.macs,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            l2_traffic_bytes: self.l2_traffic_bytes + other.l2_traffic_bytes,
+            noc_bw_bytes_per_cycle: self
+                .noc_bw_bytes_per_cycle
+                .max(other.noc_bw_bytes_per_cycle),
+        }
+    }
+
+    /// Sums two reports for pipelined (LP) accounting: latency, energy,
+    /// area, and power all add, since every stage owns its own silicon and
+    /// runs concurrently.
+    pub fn stack(&self, other: &CostReport) -> CostReport {
+        CostReport {
+            latency_cycles: self.latency_cycles + other.latency_cycles,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
+            energy_nj: self.energy_nj + other.energy_nj,
+            energy: EnergyBreakdown {
+                mac_nj: self.energy.mac_nj + other.energy.mac_nj,
+                l1_nj: self.energy.l1_nj + other.energy.l1_nj,
+                l2_nj: self.energy.l2_nj + other.energy.l2_nj,
+                dram_nj: self.energy.dram_nj + other.energy.dram_nj,
+                noc_nj: self.energy.noc_nj + other.energy.noc_nj,
+            },
+            area_um2: self.area_um2 + other.area_um2,
+            area: AreaBreakdown {
+                pe_um2: self.area.pe_um2 + other.area.pe_um2,
+                l1_um2: self.area.l1_um2 + other.area.l1_um2,
+                l2_um2: self.area.l2_um2 + other.area.l2_um2,
+                noc_um2: self.area.noc_um2 + other.area.noc_um2,
+            },
+            power_mw: self.power_mw + other.power_mw,
+            utilization: 0.0,
+            l1_bytes_per_pe: self.l1_bytes_per_pe.max(other.l1_bytes_per_pe),
+            l2_bytes: self.l2_bytes + other.l2_bytes,
+            macs: self.macs + other.macs,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            l2_traffic_bytes: self.l2_traffic_bytes + other.l2_traffic_bytes,
+            noc_bw_bytes_per_cycle: self.noc_bw_bytes_per_cycle + other.noc_bw_bytes_per_cycle,
+        }
+    }
+
+    /// Returns true if every scalar field is finite and non-negative.
+    pub fn is_physical(&self) -> bool {
+        let fields = [
+            self.latency_cycles,
+            self.compute_cycles,
+            self.stall_cycles,
+            self.energy_nj,
+            self.area_um2,
+            self.power_mw,
+            self.utilization,
+            self.l1_bytes_per_pe,
+            self.l2_bytes,
+            self.macs,
+            self.dram_bytes,
+            self.l2_traffic_bytes,
+            self.noc_bw_bytes_per_cycle,
+        ];
+        fields.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(lat: f64, area: f64) -> CostReport {
+        CostReport {
+            latency_cycles: lat,
+            energy_nj: lat * 2.0,
+            area_um2: area,
+            power_mw: 1.0,
+            utilization: 0.5,
+            macs: 10.0,
+            ..CostReport::default()
+        }
+    }
+
+    #[test]
+    fn sequential_merge_adds_latency_maxes_area() {
+        let merged = sample(100.0, 5.0).merge_sequential(&sample(50.0, 9.0));
+        assert_eq!(merged.latency_cycles, 150.0);
+        assert_eq!(merged.area_um2, 9.0);
+        assert_eq!(merged.energy_nj, 300.0);
+    }
+
+    #[test]
+    fn stack_adds_everything() {
+        let stacked = sample(100.0, 5.0).stack(&sample(50.0, 9.0));
+        assert_eq!(stacked.latency_cycles, 150.0);
+        assert_eq!(stacked.area_um2, 14.0);
+        assert_eq!(stacked.power_mw, 2.0);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let e = EnergyBreakdown {
+            mac_nj: 1.0,
+            l1_nj: 2.0,
+            l2_nj: 3.0,
+            dram_nj: 4.0,
+            noc_nj: 5.0,
+        };
+        assert_eq!(e.total_nj(), 15.0);
+        assert_eq!(e.on_chip_nj(), 11.0);
+        let a = AreaBreakdown {
+            pe_um2: 1.0,
+            l1_um2: 2.0,
+            l2_um2: 3.0,
+            noc_um2: 4.0,
+        };
+        assert_eq!(a.total_um2(), 10.0);
+    }
+
+    #[test]
+    fn default_report_is_physical() {
+        assert!(CostReport::default().is_physical());
+        let mut bad = CostReport::default();
+        bad.latency_cycles = f64::NAN;
+        assert!(!bad.is_physical());
+    }
+}

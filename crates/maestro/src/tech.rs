@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+
+/// Technology constants for a 28 nm-class process at 1 GHz.
+///
+/// The absolute values are representative (drawn from the energy/area tables
+/// commonly used with analytical accelerator models); what matters for the
+/// search experiments is the *relative* cost structure: DRAM ≫ L2 ≫ L1 ≫ MAC
+/// energy per byte, and SRAM area per byte vs. MAC area setting the
+/// compute/memory area trade-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechModel {
+    /// Clock frequency in GHz (cycles == ns at 1 GHz).
+    pub freq_ghz: f64,
+    /// Bytes per operand element (8-bit datapath = 1.0).
+    pub bytes_per_elem: f64,
+    /// Energy of one multiply-accumulate, in pJ.
+    pub e_mac_pj: f64,
+    /// L1 (per-PE scratchpad) access energy, pJ per byte.
+    pub e_l1_pj_per_byte: f64,
+    /// L2 (shared global buffer) access energy, pJ per byte.
+    pub e_l2_pj_per_byte: f64,
+    /// DRAM access energy, pJ per byte.
+    pub e_dram_pj_per_byte: f64,
+    /// NoC traversal energy, pJ per byte per hop.
+    pub e_noc_pj_per_byte_hop: f64,
+    /// Area of one PE's MAC + control, in µm².
+    pub mac_area_um2: f64,
+    /// SRAM area per byte (register-file-like L1 and banked L2), µm²/byte.
+    pub sram_area_um2_per_byte: f64,
+    /// Base NoC area per PE (links + switch share), µm².
+    pub noc_area_um2_per_pe: f64,
+    /// Additional NoC area per byte/cycle of provisioned bandwidth, µm².
+    pub noc_area_um2_per_bw_byte: f64,
+    /// Leakage power density, mW per µm².
+    pub leak_mw_per_um2: f64,
+    /// Sustained DRAM bandwidth in bytes per cycle.
+    pub dram_bw_bytes_per_cycle: f64,
+    /// Pipeline fill/drain overhead added to every layer, in cycles.
+    pub startup_cycles: f64,
+}
+
+impl Default for TechModel {
+    fn default() -> Self {
+        TechModel {
+            freq_ghz: 1.0,
+            bytes_per_elem: 1.0,
+            e_mac_pj: 0.6,
+            e_l1_pj_per_byte: 0.9,
+            e_l2_pj_per_byte: 6.0,
+            e_dram_pj_per_byte: 120.0,
+            e_noc_pj_per_byte_hop: 0.25,
+            mac_area_um2: 1200.0,
+            sram_area_um2_per_byte: 8.0,
+            noc_area_um2_per_pe: 150.0,
+            noc_area_um2_per_bw_byte: 40.0,
+            leak_mw_per_um2: 5.0e-5,
+            dram_bw_bytes_per_cycle: 16.0,
+            startup_cycles: 64.0,
+        }
+    }
+}
+
+impl TechModel {
+    /// Memory-hierarchy energy ordering sanity check: DRAM > L2 > L1.
+    pub fn hierarchy_is_sane(&self) -> bool {
+        self.e_dram_pj_per_byte > self.e_l2_pj_per_byte
+            && self.e_l2_pj_per_byte > self.e_l1_pj_per_byte
+            && self.freq_ghz > 0.0
+            && self.dram_bw_bytes_per_cycle > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hierarchy_is_sane() {
+        assert!(TechModel::default().hierarchy_is_sane());
+    }
+
+    #[test]
+    fn default_values_are_positive() {
+        let t = TechModel::default();
+        for v in [
+            t.freq_ghz,
+            t.bytes_per_elem,
+            t.e_mac_pj,
+            t.e_l1_pj_per_byte,
+            t.e_l2_pj_per_byte,
+            t.e_dram_pj_per_byte,
+            t.e_noc_pj_per_byte_hop,
+            t.mac_area_um2,
+            t.sram_area_um2_per_byte,
+            t.noc_area_um2_per_pe,
+            t.noc_area_um2_per_bw_byte,
+            t.leak_mw_per_um2,
+            t.dram_bw_bytes_per_cycle,
+            t.startup_cycles,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

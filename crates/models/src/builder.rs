@@ -1,0 +1,62 @@
+//! Helpers for building canonical CNN layers on the implicitly-padded input
+//! convention: callers give the *output* spatial size they expect, and the
+//! builder derives the input extent `Y = (out - 1) * stride + R` that makes
+//! the unpadded cost-model formula produce exactly that output.
+
+use maestro::Layer;
+
+/// "Same"-padded convolution producing `out_hw × out_hw` outputs.
+pub fn conv(name: &str, k: u64, c: u64, out_hw: u64, r: u64, stride: u64) -> Layer {
+    let input = (out_hw - 1) * stride + r;
+    Layer::conv2d(name, k, c, input, input, r, r, stride)
+        .expect("builder shapes are valid by construction")
+}
+
+/// "Same"-padded depth-wise convolution producing `out_hw × out_hw` outputs.
+pub fn dwconv(name: &str, channels: u64, out_hw: u64, r: u64, stride: u64) -> Layer {
+    let input = (out_hw - 1) * stride + r;
+    Layer::depthwise(name, channels, input, input, r, r, stride)
+        .expect("builder shapes are valid by construction")
+}
+
+/// Point-wise (1×1) convolution.
+pub fn pwconv(name: &str, k: u64, c: u64, out_hw: u64) -> Layer {
+    conv(name, k, c, out_hw, 1, 1)
+}
+
+/// Dense GEMM layer.
+pub fn gemm(name: &str, m: u64, n: u64, k: u64) -> Layer {
+    Layer::gemm(name, m, n, k).expect("builder shapes are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_hits_requested_output() {
+        let l = conv("c", 8, 8, 56, 3, 1);
+        assert_eq!(l.out_y(), 56);
+        assert_eq!(l.out_x(), 56);
+        let l2 = conv("c2", 8, 8, 112, 3, 2);
+        assert_eq!(l2.out_y(), 112);
+        let l7 = conv("c7", 64, 3, 112, 7, 2);
+        assert_eq!(l7.out_y(), 112);
+    }
+
+    #[test]
+    fn dwconv_hits_requested_output() {
+        let l = dwconv("d", 32, 28, 3, 2);
+        assert_eq!(l.out_y(), 28);
+        assert_eq!(l.k(), 32);
+        assert_eq!(l.c(), 32);
+    }
+
+    #[test]
+    fn pwconv_is_one_by_one() {
+        let l = pwconv("p", 64, 32, 14);
+        assert_eq!(l.r(), 1);
+        assert_eq!(l.s(), 1);
+        assert_eq!(l.out_y(), 14);
+    }
+}

@@ -1,0 +1,81 @@
+//! # dnn-models — layer-shape zoo for the ConfuciuX evaluation
+//!
+//! Layer tables for the six DNNs the paper evaluates (§IV-A1): three CNNs
+//! (MobileNet-V2, ResNet-50, MnasNet) and three GEMM-based models (GNMT,
+//! Transformer, NCF), plus a tiny CNN used by tests and examples.
+//!
+//! Shapes are taken from the architecture tables of the original model
+//! papers. Convolutions are expressed on the implicitly-padded input (the
+//! cost model takes the input extent that produces the canonical output
+//! size), and GEMM-based models are unrolled into their constituent dense
+//! products per footnote 3 of the ConfuciuX paper.
+//!
+//! ```
+//! use dnn_models::{mobilenet_v2, by_name};
+//!
+//! let m = mobilenet_v2();
+//! assert_eq!(m.len(), 52); // the paper's "52-layer MobileNet-V2"
+//! assert!(by_name("resnet50").is_some());
+//! ```
+
+mod builder;
+mod model;
+mod zoo;
+
+pub use model::Model;
+pub use zoo::{gnmt, mnasnet, mobilenet_v2, ncf, resnet50, tiny_cnn, transformer};
+
+/// Looks a model up by the lowercase name used in the paper's tables
+/// (`mobilenet_v2` / `mbnetv2`, `resnet50`, `mnasnet`, `gnmt`,
+/// `transformer`, `ncf`, `tiny_cnn`).
+pub fn by_name(name: &str) -> Option<Model> {
+    match name.to_ascii_lowercase().as_str() {
+        "mobilenet_v2" | "mobilenetv2" | "mbnetv2" => Some(mobilenet_v2()),
+        "resnet50" | "resnet-50" => Some(resnet50()),
+        "mnasnet" => Some(mnasnet()),
+        "gnmt" => Some(gnmt()),
+        "transformer" => Some(transformer()),
+        "ncf" => Some(ncf()),
+        "tiny_cnn" | "tiny" => Some(tiny_cnn()),
+        _ => None,
+    }
+}
+
+/// All six paper models, in the order they appear in Table III.
+pub fn all_models() -> Vec<Model> {
+    vec![
+        mobilenet_v2(),
+        mnasnet(),
+        resnet50(),
+        gnmt(),
+        transformer(),
+        ncf(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_finds_all_aliases() {
+        for name in [
+            "MbnetV2",
+            "mobilenet_v2",
+            "ResNet50",
+            "mnasnet",
+            "GNMT",
+            "transformer",
+            "NCF",
+            "tiny_cnn",
+        ] {
+            assert!(by_name(name).is_some(), "missing model {name}");
+        }
+        assert!(by_name("alexnet").is_none());
+    }
+
+    #[test]
+    fn all_models_returns_six() {
+        assert_eq!(all_models().len(), 6);
+    }
+}

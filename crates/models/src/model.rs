@@ -1,0 +1,135 @@
+use maestro::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// A DNN model: an ordered sequence of layers to be mapped onto the
+/// accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates a model from a layer sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty — an empty model has no meaning for the
+    /// resource-assignment problem.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        Model {
+            name: name.to_string(),
+            layers,
+        }
+    }
+
+    /// Model name as used in the paper's tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer sequence.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers (`N` in the paper's design-space analysis).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers. Always `false` by construction; kept
+    /// for the conventional `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layer> {
+        self.layers.iter()
+    }
+
+    /// Total multiply-accumulate operations across all layers.
+    pub fn total_macs(&self) -> f64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Indices of layers of the given kind (e.g. all DWCONV layers).
+    pub fn layer_indices_of_kind(&self, kind: LayerKind) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind() == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The layer with the most MACs (the paper's "Heuristic A" anchor).
+    pub fn most_compute_intensive_layer(&self) -> usize {
+        self.layers
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.macs()
+                    .partial_cmp(&b.macs())
+                    .expect("MAC counts are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("models are non-empty")
+    }
+}
+
+impl<'a> IntoIterator for &'a Model {
+    type Item = &'a Layer;
+    type IntoIter = std::slice::Iter<'a, Layer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer() -> Model {
+        Model::new(
+            "m",
+            vec![
+                Layer::conv2d("a", 4, 4, 8, 8, 3, 3, 1).unwrap(),
+                Layer::gemm("b", 16, 4, 16).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn total_macs_sums_layers() {
+        let m = two_layer();
+        let expected: f64 = m.layers().iter().map(|l| l.macs()).sum();
+        assert_eq!(m.total_macs(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_panics() {
+        let _ = Model::new("empty", vec![]);
+    }
+
+    #[test]
+    fn kind_filter_finds_gemm() {
+        let m = two_layer();
+        assert_eq!(m.layer_indices_of_kind(LayerKind::Gemm), vec![1]);
+        assert_eq!(m.layer_indices_of_kind(LayerKind::Conv2d), vec![0]);
+    }
+
+    #[test]
+    fn most_compute_intensive_is_argmax() {
+        let m = two_layer();
+        let idx = m.most_compute_intensive_layer();
+        let max_macs = m.layers()[idx].macs();
+        for l in &m {
+            assert!(l.macs() <= max_macs);
+        }
+    }
+}

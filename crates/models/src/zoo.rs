@@ -1,0 +1,303 @@
+//! The model zoo: layer tables for the six DNNs in the paper's evaluation.
+
+use maestro::Layer;
+
+use crate::builder::{conv, dwconv, gemm, pwconv};
+use crate::Model;
+
+/// One MobileNet-style inverted-residual block: optional 1×1 expansion,
+/// 3×3 (or `r`×`r`) depth-wise, 1×1 projection.
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    layers: &mut Vec<Layer>,
+    idx: &mut usize,
+    c_in: u64,
+    c_out: u64,
+    expand: u64,
+    out_hw: u64,
+    r: u64,
+    stride: u64,
+) {
+    let hidden = c_in * expand;
+    if expand != 1 {
+        // Expansion happens at the block's *input* resolution.
+        let in_hw = out_hw * stride;
+        layers.push(pwconv(&format!("l{idx}_expand"), hidden, c_in, in_hw));
+        *idx += 1;
+    }
+    layers.push(dwconv(&format!("l{idx}_dw"), hidden, out_hw, r, stride));
+    *idx += 1;
+    layers.push(pwconv(&format!("l{idx}_project"), c_out, hidden, out_hw));
+    *idx += 1;
+}
+
+/// MobileNet-V2 (Sandler et al., CVPR 2018), 224×224 input — 52 conv layers
+/// (initial 3×3, 17 inverted-residual blocks, final 1×1), the exact count
+/// the paper's design-space analysis uses.
+pub fn mobilenet_v2() -> Model {
+    let mut layers = Vec::new();
+    let mut idx = 1usize;
+    layers.push(conv("l0_conv3x3", 32, 3, 112, 3, 2));
+    // (expansion t, c_out, repeats n, stride s) per the MobileNet-V2 table;
+    // spatial size is the block's output resolution.
+    let spec: [(u64, u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1, 112),
+        (6, 24, 2, 2, 56),
+        (6, 32, 3, 2, 28),
+        (6, 64, 4, 2, 14),
+        (6, 96, 3, 1, 14),
+        (6, 160, 3, 2, 7),
+        (6, 320, 1, 1, 7),
+    ];
+    let mut c_in = 32;
+    for (t, c_out, n, s, hw) in spec {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            inverted_residual(&mut layers, &mut idx, c_in, c_out, t, hw, 3, stride);
+            c_in = c_out;
+        }
+    }
+    layers.push(pwconv("l51_conv1x1", 1280, 320, 7));
+    Model::new("MbnetV2", layers)
+}
+
+/// ResNet-50 (He et al., CVPR 2016), 224×224 input — 53 conv layers
+/// (7×7 stem, 16 bottleneck blocks of three convs, four projection
+/// shortcuts), matching the layer numbering in the paper's Fig. 10(b).
+pub fn resnet50() -> Model {
+    let mut layers = Vec::new();
+    layers.push(conv("l0_conv7x7", 64, 3, 112, 7, 2));
+    // (bottleneck width, c_out, repeats, output hw); stage inputs follow the
+    // standard 56/28/14/7 pyramid after the stride-2 stem + pool.
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (64, 256, 3, 56),
+        (128, 512, 4, 28),
+        (256, 1024, 6, 14),
+        (512, 2048, 3, 7),
+    ];
+    let mut c_in = 64;
+    let mut idx = 1usize;
+    for (stage_no, (width, c_out, reps, hw)) in stages.into_iter().enumerate() {
+        for rep in 0..reps {
+            let stride = if rep == 0 && stage_no > 0 { 2 } else { 1 };
+            if rep == 0 {
+                layers.push(conv(
+                    &format!("l{idx}_shortcut"),
+                    c_out,
+                    c_in,
+                    hw,
+                    1,
+                    stride,
+                ));
+                idx += 1;
+            }
+            layers.push(conv(&format!("l{idx}_1x1a"), width, c_in, hw, 1, stride));
+            idx += 1;
+            layers.push(conv(&format!("l{idx}_3x3"), width, width, hw, 3, 1));
+            idx += 1;
+            layers.push(pwconv(&format!("l{idx}_1x1b"), c_out, width, hw));
+            idx += 1;
+            c_in = c_out;
+        }
+    }
+    Model::new("ResNet50", layers)
+}
+
+/// MnasNet-A1-like network (Tan et al., CVPR 2019) without SE blocks —
+/// a mixture of 3×3/5×5 inverted residual blocks, 224×224 input.
+pub fn mnasnet() -> Model {
+    let mut layers = Vec::new();
+    let mut idx = 1usize;
+    layers.push(conv("l0_conv3x3", 32, 3, 112, 3, 2));
+    // SepConv block: dw 3x3 + pw to 16.
+    layers.push(dwconv("l1_dw", 32, 112, 3, 1));
+    layers.push(pwconv("l2_project", 16, 32, 112));
+    idx += 2;
+    // (expansion, c_out, repeats, stride, out hw, kernel)
+    let spec: [(u64, u64, u64, u64, u64, u64); 6] = [
+        (6, 24, 2, 2, 56, 3),
+        (3, 40, 3, 2, 28, 5),
+        (6, 80, 4, 2, 14, 3),
+        (6, 112, 2, 1, 14, 3),
+        (6, 160, 3, 2, 7, 5),
+        (6, 320, 1, 1, 7, 3),
+    ];
+    let mut c_in = 16;
+    for (t, c_out, n, s, hw, r) in spec {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            inverted_residual(&mut layers, &mut idx, c_in, c_out, t, hw, r, stride);
+            c_in = c_out;
+        }
+    }
+    layers.push(pwconv("l_final_conv1x1", 1280, 320, 7));
+    Model::new("MnasNet", layers)
+}
+
+/// GNMT (Wu et al., 2016): 8-layer encoder + 8-layer decoder LSTM stack with
+/// attention and a vocabulary projection, unrolled into GEMMs at hidden size
+/// 1024 and an effective batch·time of 128 tokens.
+pub fn gnmt() -> Model {
+    let tokens = 128;
+    let hidden = 1024;
+    let mut layers = Vec::new();
+    for i in 0..8 {
+        // LSTM gates: [4H x (H_in + H)] * [tokens]; the first layer consumes
+        // the embedding (same width).
+        layers.push(gemm(
+            &format!("enc{i}_lstm"),
+            4 * hidden,
+            tokens,
+            2 * hidden,
+        ));
+    }
+    for i in 0..8 {
+        layers.push(gemm(
+            &format!("dec{i}_lstm"),
+            4 * hidden,
+            tokens,
+            2 * hidden,
+        ));
+    }
+    layers.push(gemm("attn_score", hidden, tokens, hidden));
+    layers.push(gemm("attn_context", hidden, tokens, hidden));
+    layers.push(gemm("vocab_proj", 32_000, tokens, hidden));
+    Model::new("GNMT", layers)
+}
+
+/// Transformer base encoder (Vaswani et al., 2017): 6 layers of
+/// Q/K/V/output projections plus the two feed-forward GEMMs, d_model = 512,
+/// d_ff = 2048, 32 tokens.
+pub fn transformer() -> Model {
+    let tokens = 32;
+    let d = 512;
+    let d_ff = 2048;
+    let mut layers = Vec::new();
+    for i in 0..6 {
+        for proj in ["q", "k", "v", "o"] {
+            layers.push(gemm(&format!("enc{i}_{proj}_proj"), d, tokens, d));
+        }
+        layers.push(gemm(&format!("enc{i}_ff1"), d_ff, tokens, d));
+        layers.push(gemm(&format!("enc{i}_ff2"), d, tokens, d_ff));
+    }
+    Model::new("Transformer", layers)
+}
+
+/// Neural collaborative filtering (He et al., 2017): GMF + a 4-layer MLP
+/// tower over user/item embeddings, batch of 256 interactions.
+pub fn ncf() -> Model {
+    let batch = 256;
+    Model::new(
+        "NCF",
+        vec![
+            gemm("mlp_fc1", 256, batch, 128),
+            gemm("mlp_fc2", 128, batch, 256),
+            gemm("mlp_fc3", 64, batch, 128),
+            gemm("gmf", 64, batch, 64),
+            gemm("predict", 1, batch, 128),
+        ],
+    )
+}
+
+/// A 6-layer toy CNN used by unit tests and the quickstart example; small
+/// enough that searches converge in seconds.
+pub fn tiny_cnn() -> Model {
+    Model::new(
+        "TinyCNN",
+        vec![
+            conv("l0_conv", 16, 3, 16, 3, 1),
+            dwconv("l1_dw", 16, 16, 3, 1),
+            pwconv("l2_pw", 32, 16, 16),
+            conv("l3_conv", 32, 32, 8, 3, 2),
+            pwconv("l4_pw", 64, 32, 8),
+            gemm("l5_fc", 10, 1, 4096),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro::LayerKind;
+
+    #[test]
+    fn mobilenet_v2_has_52_layers() {
+        let m = mobilenet_v2();
+        assert_eq!(m.len(), 52);
+        // 17 blocks each contribute one DWCONV.
+        assert_eq!(m.layer_indices_of_kind(LayerKind::DepthwiseConv2d).len(), 17);
+    }
+
+    #[test]
+    fn mobilenet_v2_macs_are_in_the_classic_range() {
+        // MobileNet-V2 is ~300M MACs at 224x224 (paper: 300M multiply-adds).
+        let macs = mobilenet_v2().total_macs();
+        assert!(
+            (2.0e8..6.0e8).contains(&macs),
+            "got {macs:.3e}, expected roughly 3e8"
+        );
+    }
+
+    #[test]
+    fn resnet50_has_53_layers_and_4_gmacs() {
+        let m = resnet50();
+        assert_eq!(m.len(), 53);
+        // ResNet-50 is ~4.1 GMACs at 224x224.
+        let macs = m.total_macs();
+        assert!(
+            (3.0e9..6.0e9).contains(&macs),
+            "got {macs:.3e}, expected roughly 4e9"
+        );
+    }
+
+    #[test]
+    fn mnasnet_is_lighter_than_resnet() {
+        assert!(mnasnet().total_macs() < resnet50().total_macs() / 4.0);
+    }
+
+    #[test]
+    fn gemm_models_contain_only_gemm_layers() {
+        for m in [gnmt(), transformer(), ncf()] {
+            for l in &m {
+                assert_eq!(l.kind(), LayerKind::Gemm, "{} in {}", l.name(), m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gnmt_vocab_projection_dominates() {
+        let m = gnmt();
+        let idx = m.most_compute_intensive_layer();
+        assert_eq!(m.layers()[idx].name(), "vocab_proj");
+    }
+
+    #[test]
+    fn channel_counts_chain_between_blocks() {
+        // Projection output channels of block i must equal the expansion
+        // input channels of block i+1 (spot-check MobileNet-V2).
+        let m = mobilenet_v2();
+        let layers = m.layers();
+        for w in layers.windows(2) {
+            if w[0].name().ends_with("project") && w[1].name().ends_with("expand") {
+                assert_eq!(w[0].k(), w[1].c(), "{} -> {}", w[0].name(), w[1].name());
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_pyramid_shrinks_monotonically() {
+        for m in [mobilenet_v2(), resnet50(), mnasnet()] {
+            let mut prev = u64::MAX;
+            for l in &m {
+                assert!(l.out_y() <= prev, "{}: {} grows", m.name(), l.name());
+                prev = prev.max(l.out_y()); // resolutions never exceed the stem
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cnn_is_tiny() {
+        assert!(tiny_cnn().total_macs() < 1.0e7);
+        assert_eq!(tiny_cnn().len(), 6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Distribution heads for policies: categorical (discrete actions) and
+//! diagonal Gaussian (continuous actions).
+
+use rand::Rng as _;
+
+use crate::{Matrix, Rng};
+
+/// Row-wise softmax with max-subtraction for numerical stability.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        let cols = logits.cols();
+        for c in 0..cols {
+            let e = (row[c] - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..cols {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+        for c in 0..logits.cols() {
+            out.set(r, c, row[c] - lse);
+        }
+    }
+    out
+}
+
+/// Samples an index from a probability row.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn sample_categorical(probs: &[f32], rng: &mut Rng) -> usize {
+    assert!(!probs.is_empty(), "cannot sample an empty distribution");
+    let u: f32 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Entropy of a categorical distribution in nats.
+pub fn categorical_entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Log-density and its gradients for a diagonal Gaussian parameterized by
+/// `(mean, log_std)` evaluated at `action`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianGrad {
+    /// `log p(action)`.
+    pub log_prob: f32,
+    /// `∂ log p / ∂ mean`.
+    pub d_mean: f32,
+    /// `∂ log p / ∂ log_std`.
+    pub d_log_std: f32,
+}
+
+/// Computes the log-probability of `action` under `N(mean, exp(log_std)²)`
+/// together with the gradients needed for policy updates.
+pub fn gaussian_log_prob(mean: f32, log_std: f32, action: f32) -> GaussianGrad {
+    let std = log_std.exp().max(1e-6);
+    let z = (action - mean) / std;
+    let log_prob = -0.5 * z * z - log_std - 0.5 * (2.0 * std::f32::consts::PI).ln();
+    GaussianGrad {
+        log_prob,
+        d_mean: z / std,
+        d_log_std: z * z - 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Matrix::row_from_slice(&[1.0, 2.0, 3.0]));
+        let b = softmax(&Matrix::row_from_slice(&[101.0, 102.0, 103.0]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let logits = Matrix::row_from_slice(&[0.3, -1.2, 2.0, 0.0]);
+        let ls = log_softmax(&logits);
+        let p = softmax(&logits);
+        for (a, b) in ls.data().iter().zip(p.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = Rng::seed_from_u64(42);
+        let probs = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        let freq0 = counts[0] as f32 / 20_000.0;
+        assert!((freq0 - 0.7).abs() < 0.02, "freq0 = {freq0}");
+    }
+
+    #[test]
+    fn entropy_peaks_at_uniform() {
+        let uniform = categorical_entropy(&[0.25; 4]);
+        let skewed = categorical_entropy(&[0.97, 0.01, 0.01, 0.01]);
+        assert!(uniform > skewed);
+        assert!((uniform - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_log_prob_gradcheck() {
+        let (mean, log_std, action) = (0.3f32, -0.5f32, 0.9f32);
+        let base = gaussian_log_prob(mean, log_std, action);
+        let eps = 1e-3;
+        let num_dmean = (gaussian_log_prob(mean + eps, log_std, action).log_prob
+            - gaussian_log_prob(mean - eps, log_std, action).log_prob)
+            / (2.0 * eps);
+        let num_dls = (gaussian_log_prob(mean, log_std + eps, action).log_prob
+            - gaussian_log_prob(mean, log_std - eps, action).log_prob)
+            / (2.0 * eps);
+        assert!((num_dmean - base.d_mean).abs() < 1e-2);
+        assert!((num_dls - base.d_log_std).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gaussian_log_prob_is_maximal_at_mean() {
+        let at_mean = gaussian_log_prob(1.0, 0.0, 1.0).log_prob;
+        let off_mean = gaussian_log_prob(1.0, 0.0, 2.0).log_prob;
+        assert!(at_mean > off_mean);
+    }
+}

@@ -1,0 +1,132 @@
+//! # tinynn — minimal neural-network substrate with explicit backprop
+//!
+//! The RL agents in ConfuciuX need small policy/critic networks (the paper
+//! uses an LSTM-128 policy and MLP critics). This crate provides exactly
+//! that: a dense [`Matrix`] type, [`Linear`] and [`LstmCell`] layers with
+//! hand-written forward/backward passes, the [`Adam`] optimizer, and
+//! categorical/Gaussian distribution heads for discrete and continuous
+//! action spaces.
+//!
+//! There is no autograd tape: every layer's `backward` takes the cached
+//! forward inputs explicitly, which keeps backpropagation-through-time over
+//! an episode straightforward (the caller owns the per-step caches).
+//!
+//! ```
+//! use tinynn::{Linear, Matrix, Rng, SeedableRng};
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let layer = Linear::new(4, 2, &mut rng);
+//! let x = Matrix::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.4]);
+//! let y = layer.forward(&x);
+//! assert_eq!(y.shape(), (1, 2));
+//! ```
+
+mod adam;
+mod dist;
+mod linear;
+mod lstm;
+mod matrix;
+mod mlp;
+
+pub use adam::Adam;
+pub use dist::{
+    categorical_entropy, gaussian_log_prob, log_softmax, sample_categorical, softmax,
+    GaussianGrad,
+};
+pub use linear::Linear;
+pub use lstm::{LstmCache, LstmCell, LstmState};
+pub use matrix::Matrix;
+pub use mlp::{Activation, Mlp, MlpCache};
+
+/// The RNG used throughout the crate (re-exported so callers don't need a
+/// direct `rand` dependency for seeding).
+pub type Rng = rand::rngs::StdRng;
+
+pub use rand::SeedableRng;
+
+/// A trainable parameter: value, gradient accumulator, and Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub w: Matrix,
+    /// Accumulated gradient (reset by [`Param::zero_grad`]).
+    pub g: Matrix,
+    /// Adam first moment.
+    pub m: Matrix,
+    /// Adam second moment.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wraps a value matrix as a parameter with zeroed gradient/moments.
+    pub fn new(w: Matrix) -> Self {
+        let (r, c) = w.shape();
+        Param {
+            w,
+            g: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.g.fill(0.0);
+    }
+
+    /// Squared L2 norm of the accumulated gradient (for clipping).
+    pub fn grad_norm_sq(&self) -> f32 {
+        self.g.data().iter().map(|v| v * v).sum()
+    }
+
+    /// Scales the gradient in place (used for global-norm clipping).
+    pub fn scale_grad(&mut self, factor: f32) {
+        for v in self.g.data_mut() {
+            *v *= factor;
+        }
+    }
+}
+
+/// Clips the global gradient norm of a set of parameters to `max_norm`,
+/// returning the pre-clip norm.
+pub fn clip_global_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad_norm_sq()).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let factor = max_norm / total;
+        for p in params.iter_mut() {
+            p.scale_grad(factor);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad_clears() {
+        let mut p = Param::new(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        p.g = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_clip_rescales() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.g = Matrix::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let norm = clip_global_grad_norm(&mut [&mut p], 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped: f32 = p.grad_norm_sq().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn global_clip_leaves_small_grads_alone() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.g = Matrix::from_vec(1, 2, vec![0.3, 0.4]);
+        clip_global_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.g.data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,157 @@
+use crate::{Matrix, Param, Rng};
+
+/// A fully-connected layer `y = x·W + b` with explicit backward.
+///
+/// `W` is stored `in × out` so the forward pass is a plain matmul on
+/// row-vector activations.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight parameter, shape `in × out`.
+    pub w: Param,
+    /// Bias parameter, shape `1 × out`.
+    pub b: Param,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(input: usize, output: usize, rng: &mut Rng) -> Self {
+        Linear {
+            w: Param::new(Matrix::xavier(input, output, rng)),
+            b: Param::new(Matrix::zeros(1, output)),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.w.cols()
+    }
+
+    /// Forward pass: `x (n×in) -> n×out`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w.w).add_row_broadcast(&self.b.w)
+    }
+
+    /// Backward pass. `x` must be the input used in the corresponding
+    /// forward call; `dout` is the upstream gradient (n×out). Accumulates
+    /// into `w.g`/`b.g` and returns `dx` (n×in).
+    pub fn backward(&mut self, x: &Matrix, dout: &Matrix) -> Matrix {
+        let dw = x.matmul_tn(dout);
+        self.w.g.add_scaled(&dw, 1.0);
+        self.b.g.add_scaled(&dout.sum_rows(), 1.0);
+        dout.matmul_nt(&self.w.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Mutable references to the layer's parameters (for optimizers).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Polyak-averages this layer's weights toward `source`:
+    /// `θ ← (1−τ)·θ + τ·θ_src`. Used for target networks in DDPG/TD3/SAC.
+    pub fn soft_update_from(&mut self, source: &Linear, tau: f32) {
+        soft_update(&mut self.w.w, &source.w.w, tau);
+        soft_update(&mut self.b.w, &source.b.w, tau);
+    }
+}
+
+fn soft_update(dst: &mut Matrix, src: &Matrix, tau: f32) {
+    for (d, s) in dst.data_mut().iter_mut().zip(src.data()) {
+        *d = (1.0 - tau) * *d + tau * s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    /// Finite-difference gradient check: the backbone correctness test for
+    /// the whole crate.
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::xavier(2, 4, &mut rng);
+        // Scalar loss = sum(forward(x)).
+        let loss = |l: &Linear, x: &Matrix| -> f32 { l.forward(x).data().iter().sum() };
+
+        let dout = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        layer.zero_grad();
+        let dx = layer.backward(&x, &dout);
+
+        let eps = 1e-3;
+        // Check dL/dW numerically for a few entries.
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let mut pert = layer.clone();
+            let orig = pert.w.w.get(r, c);
+            pert.w.w.set(r, c, orig + eps);
+            let lp = loss(&pert, &x);
+            pert.w.w.set(r, c, orig - eps);
+            let lm = loss(&pert, &x);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = layer.w.g.get(r, c);
+            assert!((num - ana).abs() < 1e-2, "dW[{r},{c}]: {num} vs {ana}");
+        }
+        // Check dL/dx numerically.
+        for &(r, c) in &[(0usize, 0usize), (1, 3)] {
+            let mut xp = x.clone();
+            let orig = xp.get(r, c);
+            xp.set(r, c, orig + eps);
+            let lp = loss(&layer, &xp);
+            xp.set(r, c, orig - eps);
+            let lm = loss(&layer, &xp);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.get(r, c);
+            assert!((num - ana).abs() < 1e-2, "dx[{r},{c}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::zeros(3, 2);
+        let dout = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        layer.backward(&x, &dout);
+        assert_eq!(layer.b.g.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut a = Linear::new(2, 2, &mut rng);
+        let b = Linear::new(2, 2, &mut rng);
+        let before = a.w.w.get(0, 0);
+        let target = b.w.w.get(0, 0);
+        a.soft_update_from(&b, 0.5);
+        let after = a.w.w.get(0, 0);
+        assert!((after - (before + target) / 2.0).abs() < 1e-6);
+        a.soft_update_from(&b, 1.0);
+        assert!((a.w.w.get(0, 0) - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_accumulates_across_calls() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let dout = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        layer.backward(&x, &dout);
+        let g1 = layer.w.g.clone();
+        layer.backward(&x, &dout);
+        for (a, b) in layer.w.g.data().iter().zip(g1.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+use crate::{Matrix, Param, Rng};
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Hidden and cell state of an LSTM, each `batch × hidden`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h`.
+    pub h: Matrix,
+    /// Cell state `c`.
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// All-zero initial state for `batch` sequences.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
+    }
+}
+
+/// Everything the backward pass needs from one forward step.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c_new: Matrix,
+}
+
+/// A single-layer LSTM cell with gate order `[i, f, g, o]` packed into one
+/// `4H`-wide affine transform, matching the classic formulation:
+///
+/// ```text
+/// i = σ(x·Wxi + h·Whi + bi)      f = σ(x·Wxf + h·Whf + bf)
+/// g = tanh(x·Wxg + h·Whg + bg)   o = σ(x·Wxo + h·Who + bo)
+/// c' = f∘c + i∘g                 h' = o∘tanh(c')
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    /// Input weights, `input × 4H`.
+    pub wx: Param,
+    /// Recurrent weights, `hidden × 4H`.
+    pub wh: Param,
+    /// Gate biases, `1 × 4H` (forget-gate bias initialized to 1).
+    pub b: Param,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Xavier-initialized cell; forget-gate bias starts at 1.0 for gradient
+    /// flow early in training.
+    pub fn new(input: usize, hidden: usize, rng: &mut Rng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            b.set(0, j, 1.0);
+        }
+        LstmCell {
+            wx: Param::new(Matrix::xavier(input, 4 * hidden, rng)),
+            wh: Param::new(Matrix::xavier(hidden, 4 * hidden, rng)),
+            b: Param::new(b),
+            hidden,
+        }
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.wx.w.rows()
+    }
+
+    /// One forward step. Returns the new state and the cache needed by
+    /// [`LstmCell::backward`].
+    pub fn forward(&self, x: &Matrix, state: &LstmState) -> (LstmState, LstmCache) {
+        let batch = x.rows();
+        let h = self.hidden;
+        let gates = x
+            .matmul(&self.wx.w)
+            .add(&state.h.matmul(&self.wh.w))
+            .add_row_broadcast(&self.b.w);
+        let mut i = Matrix::zeros(batch, h);
+        let mut f = Matrix::zeros(batch, h);
+        let mut g = Matrix::zeros(batch, h);
+        let mut o = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            for j in 0..h {
+                i.set(r, j, sigmoid(gates.get(r, j)));
+                f.set(r, j, sigmoid(gates.get(r, h + j)));
+                g.set(r, j, gates.get(r, 2 * h + j).tanh());
+                o.set(r, j, sigmoid(gates.get(r, 3 * h + j)));
+            }
+        }
+        let c_new = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let tanh_c_new = c_new.map(f32::tanh);
+        let h_new = o.hadamard(&tanh_c_new);
+        let cache = LstmCache {
+            x: x.clone(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c_new,
+        };
+        (
+            LstmState {
+                h: h_new,
+                c: c_new,
+            },
+            cache,
+        )
+    }
+
+    /// One backward step (for BPTT, call in reverse time order threading
+    /// `dh_prev`/`dc_prev` into the previous step). Accumulates parameter
+    /// gradients and returns `(dx, dh_prev, dc_prev)`.
+    pub fn backward(
+        &mut self,
+        cache: &LstmCache,
+        dh: &Matrix,
+        dc: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let batch = dh.rows();
+        let h = self.hidden;
+        // dL/dc' includes the path through h' = o ∘ tanh(c').
+        let dc_total = {
+            let via_h = dh
+                .hadamard(&cache.o)
+                .hadamard(&cache.tanh_c_new.map(|t| 1.0 - t * t));
+            via_h.add(dc)
+        };
+        let di = dc_total.hadamard(&cache.g);
+        let df = dc_total.hadamard(&cache.c_prev);
+        let dg = dc_total.hadamard(&cache.i);
+        let do_ = dh.hadamard(&cache.tanh_c_new);
+        // Pre-activation gate grads.
+        let mut dgates = Matrix::zeros(batch, 4 * h);
+        for r in 0..batch {
+            for j in 0..h {
+                let iv = cache.i.get(r, j);
+                let fv = cache.f.get(r, j);
+                let gv = cache.g.get(r, j);
+                let ov = cache.o.get(r, j);
+                dgates.set(r, j, di.get(r, j) * iv * (1.0 - iv));
+                dgates.set(r, h + j, df.get(r, j) * fv * (1.0 - fv));
+                dgates.set(r, 2 * h + j, dg.get(r, j) * (1.0 - gv * gv));
+                dgates.set(r, 3 * h + j, do_.get(r, j) * ov * (1.0 - ov));
+            }
+        }
+        self.wx.g.add_scaled(&cache.x.matmul_tn(&dgates), 1.0);
+        self.wh.g.add_scaled(&cache.h_prev.matmul_tn(&dgates), 1.0);
+        self.b.g.add_scaled(&dgates.sum_rows(), 1.0);
+        let dx = dgates.matmul_nt(&self.wx.w);
+        let dh_prev = dgates.matmul_nt(&self.wh.w);
+        let dc_prev = dc_total.hadamard(&cache.f);
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.wx.zero_grad();
+        self.wh.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Mutable references to the cell's parameters (for optimizers).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    fn scalar_loss(cell: &LstmCell, xs: &[Matrix]) -> f32 {
+        // Sum of all hidden outputs over a short unrolled sequence.
+        let mut state = LstmState::zeros(1, cell.hidden_dim());
+        let mut total = 0.0;
+        for x in xs {
+            let (next, _) = cell.forward(x, &state);
+            total += next.h.data().iter().sum::<f32>();
+            state = next;
+        }
+        total
+    }
+
+    /// Full BPTT finite-difference gradient check over a 3-step sequence —
+    /// validates the recurrent path through both h and c.
+    #[test]
+    fn bptt_gradient_check() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut cell = LstmCell::new(3, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(1, 3, &mut rng)).collect();
+
+        // Analytical grads via BPTT.
+        cell.zero_grad();
+        let mut state = LstmState::zeros(1, 4);
+        let mut caches = Vec::new();
+        for x in &xs {
+            let (next, cache) = cell.forward(x, &state);
+            caches.push(cache);
+            state = next;
+        }
+        let mut dh = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        let mut dc = Matrix::zeros(1, 4);
+        for cache in caches.iter().rev() {
+            let (_dx, dh_prev, dc_prev) = cell.backward(cache, &dh, &dc);
+            // Every step's h contributes 1.0 to the loss.
+            dh = dh_prev.add(&Matrix::from_vec(1, 4, vec![1.0; 4]));
+            dc = dc_prev;
+        }
+
+        let eps = 1e-2;
+        let checks = [(0usize, 0usize), (1, 5), (2, 11)];
+        for &(r, c) in &checks {
+            let mut pert = cell.clone();
+            let orig = pert.wx.w.get(r, c);
+            pert.wx.w.set(r, c, orig + eps);
+            let lp = scalar_loss(&pert, &xs);
+            pert.wx.w.set(r, c, orig - eps);
+            let lm = scalar_loss(&pert, &xs);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = cell.wx.g.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "dWx[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &(r, c) in &[(0usize, 0usize), (3, 7)] {
+            let mut pert = cell.clone();
+            let orig = pert.wh.w.get(r, c);
+            pert.wh.w.set(r, c, orig + eps);
+            let lp = scalar_loss(&pert, &xs);
+            pert.wh.w.set(r, c, orig - eps);
+            let lm = scalar_loss(&pert, &xs);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = cell.wh.g.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "dWh[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = Rng::seed_from_u64(12);
+        let cell = LstmCell::new(5, 8, &mut rng);
+        let x = Matrix::xavier(2, 5, &mut rng);
+        let (state, _) = cell.forward(&x, &LstmState::zeros(2, 8));
+        assert_eq!(state.h.shape(), (2, 8));
+        assert_eq!(state.c.shape(), (2, 8));
+        // h = o * tanh(c) is bounded by (-1, 1).
+        assert!(state.h.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forget_bias_is_one() {
+        let mut rng = Rng::seed_from_u64(13);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        for j in 3..6 {
+            assert_eq!(cell.b.w.get(0, j), 1.0);
+        }
+        assert_eq!(cell.b.w.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn state_persists_information() {
+        // Feeding the same input twice from different states must give
+        // different outputs (the recurrence actually matters).
+        let mut rng = Rng::seed_from_u64(14);
+        let cell = LstmCell::new(2, 4, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let (s1, _) = cell.forward(&x, &LstmState::zeros(1, 4));
+        let (s2, _) = cell.forward(&x, &s1);
+        assert_ne!(s1.h, s2.h);
+    }
+}

@@ -1,0 +1,360 @@
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` matrix. Small and allocation-friendly — policy
+/// networks here are at most a few hundred units wide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row vector from a slice.
+    pub fn row_from_slice(data: &[f32]) -> Self {
+        Matrix::from_vec(1, data.len(), data.to_vec())
+    }
+
+    /// Xavier/Glorot-uniform initialization for a `rows × cols` weight.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut crate::Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// View of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fills every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// `self · other` (m×k by k×n).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[r * other.cols..(r + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                out.data[i * other.rows + j] =
+                    arow.iter().zip(brow).map(|(a, b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum. Shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shapes");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Shapes must match.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shapes");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Shapes must match.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shapes");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds a 1×cols row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast row must be 1×n");
+        assert_eq!(row.cols, self.cols, "broadcast width");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += row.data[c];
+            }
+        }
+        out
+    }
+
+    /// Column-sum collapsed to a 1×cols row (bias-gradient reduction).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let id = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let mut rng = crate::Rng::seed_from_u64(1);
+        let a = Matrix::xavier(3, 4, &mut rng);
+        let b = Matrix::xavier(3, 5, &mut rng);
+        let via_t = a.transpose().matmul(&b);
+        let direct = a.matmul_tn(&b);
+        for (x, y) in via_t.data().iter().zip(direct.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let c = Matrix::xavier(5, 4, &mut rng);
+        let via_t2 = a.matmul(&c.transpose());
+        let direct2 = a.matmul_nt(&c);
+        for (x, y) in via_t2.data().iter().zip(direct2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_inverse_in_shape() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::row_from_slice(&[10.0, 20.0, 30.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.get(1, 2), 36.0);
+        let s = x.sum_rows();
+        assert_eq!(s.data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn xavier_is_bounded() {
+        let mut rng = crate::Rng::seed_from_u64(2);
+        let m = Matrix::xavier(16, 16, &mut rng);
+        let bound = (6.0 / 32.0f32).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    proptest! {
+        #[test]
+        fn add_is_commutative(v1 in proptest::collection::vec(-10.0f32..10.0, 6),
+                              v2 in proptest::collection::vec(-10.0f32..10.0, 6)) {
+            let a = Matrix::from_vec(2, 3, v1);
+            let b = Matrix::from_vec(2, 3, v2);
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn transpose_is_involutive(v in proptest::collection::vec(-10.0f32..10.0, 12)) {
+            let a = Matrix::from_vec(3, 4, v);
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(
+            v1 in proptest::collection::vec(-2.0f32..2.0, 4),
+            v2 in proptest::collection::vec(-2.0f32..2.0, 4),
+            v3 in proptest::collection::vec(-2.0f32..2.0, 4),
+        ) {
+            let a = Matrix::from_vec(2, 2, v1);
+            let b = Matrix::from_vec(2, 2, v2);
+            let c = Matrix::from_vec(2, 2, v3);
+            let lhs = a.matmul(&b.add(&c));
+            let rhs = a.matmul(&b).add(&a.matmul(&c));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

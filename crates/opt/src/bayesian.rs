@@ -1,0 +1,296 @@
+use rand::Rng as _;
+
+use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+
+/// Bayesian optimization with a Gaussian-process surrogate (RBF kernel)
+/// and expected-improvement acquisition, adapted to the discrete integer
+/// space (§II-E, §IV-A3).
+///
+/// To keep the cubic GP cost bounded on long runs, the surrogate is fit on
+/// a window of the most recent + best observations (`max_train`), a
+/// standard sparsification; the paper's qualitative behaviour (sample-
+/// efficient early, struggles under tight constraints) is preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesianOpt {
+    /// Kernel length-scale on the normalized [0,1]^n genome.
+    pub length_scale: f64,
+    /// Observation noise added to the kernel diagonal.
+    pub noise: f64,
+    /// Random candidates scored by EI per iteration.
+    pub candidates: usize,
+    /// Maximum training points kept for the GP fit.
+    pub max_train: usize,
+    /// Random genomes evaluated before the first GP fit.
+    pub warmup: usize,
+    /// Penalized cost assigned to infeasible observations so the GP
+    /// learns to avoid the violating region.
+    pub infeasible_quantile: f64,
+}
+
+impl Default for BayesianOpt {
+    fn default() -> Self {
+        BayesianOpt {
+            length_scale: 0.35,
+            noise: 1e-4,
+            candidates: 256,
+            max_train: 200,
+            warmup: 16,
+            infeasible_quantile: 2.0,
+        }
+    }
+}
+
+struct Gp {
+    train_x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Vec<Vec<f64>>,
+    length_scale: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], ls: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+    (-d2 / (2.0 * ls * ls)).exp()
+}
+
+/// Dense Cholesky factorization (lower-triangular); panics only if the
+/// kernel matrix is not positive definite, which the jitter prevents.
+fn cholesky(mut a: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let n = a.len();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= a[i][k] * a[j][k];
+            }
+            if i == j {
+                a[i][j] = sum.max(1e-12).sqrt();
+            } else {
+                a[i][j] = sum / a[j][j];
+            }
+        }
+        for j in (i + 1)..n {
+            a[i][j] = 0.0;
+        }
+    }
+    a
+}
+
+fn solve_lower(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i][j] * x[j];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+fn solve_upper_t(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    // Solves Lᵀ x = b given lower-triangular L.
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= l[j][i] * x[j];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+impl Gp {
+    fn fit(train_x: Vec<Vec<f64>>, train_y: &[f64], ls: f64, noise: f64) -> Gp {
+        let n = train_x.len();
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = rbf(&train_x[i], &train_x[j], ls);
+            }
+            k[i][i] += noise + 1e-8;
+        }
+        let chol = cholesky(k);
+        let tmp = solve_lower(&chol, train_y);
+        let alpha = solve_upper_t(&chol, &tmp);
+        Gp {
+            train_x,
+            alpha,
+            chol,
+            length_scale: ls,
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self
+            .train_x
+            .iter()
+            .map(|xi| rbf(xi, x, self.length_scale))
+            .collect();
+        let mean: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = solve_lower(&self.chol, &kstar);
+        let var = (1.0 - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var.sqrt())
+    }
+}
+
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Abramowitz–Stegun rational approximation of erf (|error| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of a *minimization* objective at predicted
+/// `(mean, std)` against incumbent `best`.
+fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 0.0 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+impl Optimizer for BayesianOpt {
+    fn run(
+        &self,
+        space: &SearchSpace,
+        budget: usize,
+        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        let mut outcome = SearchOutcome::new();
+        let mut observed: Vec<(Vec<usize>, Option<f64>)> = Vec::new();
+        // Warmup with random samples.
+        for _ in 0..self.warmup.min(budget) {
+            let g = space.sample(rng);
+            let c = eval(&g);
+            outcome.record(&g, c);
+            observed.push((g, c));
+        }
+        while outcome.evaluations < budget {
+            // Assemble the GP training window: feasible costs as-is,
+            // infeasible points at a penalty above the worst feasible cost.
+            let feasible: Vec<f64> = observed.iter().filter_map(|(_, c)| *c).collect();
+            let penalty = if feasible.is_empty() {
+                1.0
+            } else {
+                let worst = feasible.iter().cloned().fold(f64::MIN, f64::max);
+                worst * self.infeasible_quantile + 1.0
+            };
+            let start = observed.len().saturating_sub(self.max_train);
+            let window = &observed[start..];
+            let xs: Vec<Vec<f64>> = window.iter().map(|(g, _)| space.normalize(g)).collect();
+            let raw_ys: Vec<f64> = window.iter().map(|(_, c)| c.unwrap_or(penalty)).collect();
+            // Standardize targets for a unit-scale GP.
+            let mean_y = raw_ys.iter().sum::<f64>() / raw_ys.len() as f64;
+            let std_y = (raw_ys.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>()
+                / raw_ys.len() as f64)
+                .sqrt()
+                .max(1e-9);
+            let ys: Vec<f64> = raw_ys.iter().map(|y| (y - mean_y) / std_y).collect();
+            let gp = Gp::fit(xs, &ys, self.length_scale, self.noise);
+            let incumbent = ys.iter().cloned().fold(f64::MAX, f64::min);
+
+            // Acquisition: best EI over random candidates plus jittered
+            // copies of the incumbent best genome.
+            let mut best_cand: Option<(Vec<usize>, f64)> = None;
+            let base = outcome.best.as_ref().map(|(g, _)| g.clone());
+            for i in 0..self.candidates {
+                let cand = if i % 4 == 0 {
+                    match &base {
+                        Some(b) => {
+                            let mut c = b.clone();
+                            let idx = rng.gen_range(0..c.len());
+                            let card = space.cardinality(idx) as isize;
+                            let delta = rng.gen_range(-2..=2isize);
+                            c[idx] = (c[idx] as isize + delta).clamp(0, card - 1) as usize;
+                            c
+                        }
+                        None => space.sample(rng),
+                    }
+                } else {
+                    space.sample(rng)
+                };
+                let (m, s) = gp.predict(&space.normalize(&cand));
+                let ei = expected_improvement(m, s, incumbent);
+                if best_cand.as_ref().map_or(true, |(_, b)| ei > *b) {
+                    best_cand = Some((cand, ei));
+                }
+            }
+            let (genome, _) = best_cand.expect("candidates > 0");
+            let cost = eval(&genome);
+            outcome.record(&genome, cost);
+            observed.push((genome, cost));
+        }
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "Bayes.Opt."
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, -1.0, 0.5];
+        let gp = Gp::fit(xs.clone(), &ys, 0.3, 1e-6);
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (m, s) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs {y}");
+            assert!(s < 0.1, "posterior std {s} at training point");
+        }
+    }
+
+    #[test]
+    fn ei_prefers_uncertain_low_mean() {
+        let good = expected_improvement(-1.0, 0.5, 0.0);
+        let bad = expected_improvement(1.0, 0.5, 0.0);
+        assert!(good > bad);
+        let sure = expected_improvement(0.0, 1e-9, 0.0);
+        let unsure = expected_improvement(0.0, 1.0, 0.0);
+        assert!(unsure > sure);
+    }
+
+    #[test]
+    fn optimizes_quadratic_sample_efficiently() {
+        let space = SearchSpace::uniform(2, 12);
+        let mut rng = Rng::seed_from_u64(31);
+        let outcome = BayesianOpt::default().run(
+            &space,
+            80,
+            |g| Some(g.iter().map(|&v| (v as f64 - 6.0).powi(2)).sum()),
+            &mut rng,
+        );
+        assert!(outcome.best_cost().unwrap() <= 2.0, "{:?}", outcome.best);
+    }
+}

@@ -1,0 +1,172 @@
+use rand::Rng as _;
+
+use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+
+/// Generic genetic algorithm (§IV-A3: population 100, mutation/crossover
+/// rate 0.05) with tournament selection, uniform crossover, and per-gene
+/// resampling mutation. This is the *baseline* GA; the specialized
+/// fine-tuning GA lives in [`crate::LocalGa`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticAlgorithm {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Per-pair crossover probability.
+    pub crossover_rate: f64,
+    /// Elite individuals copied unchanged into the next generation.
+    pub elites: usize,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population: 100,
+            mutation_rate: 0.05,
+            crossover_rate: 0.05,
+            elites: 2,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Individual {
+    genome: Vec<usize>,
+    /// `None` = constraint violated (worst possible fitness).
+    cost: Option<f64>,
+}
+
+impl GeneticAlgorithm {
+    fn better(a: &Individual, b: &Individual) -> bool {
+        match (a.cost, b.cost) {
+            (Some(x), Some(y)) => x < y,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    fn tournament<'a>(pop: &'a [Individual], rng: &mut Rng) -> &'a Individual {
+        let a = &pop[rng.gen_range(0..pop.len())];
+        let b = &pop[rng.gen_range(0..pop.len())];
+        if Self::better(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn run(
+        &self,
+        space: &SearchSpace,
+        budget: usize,
+        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        let mut outcome = SearchOutcome::new();
+        let pop_size = self.population.min(budget.max(1));
+        let mut population: Vec<Individual> = (0..pop_size)
+            .map(|_| {
+                let genome = space.sample(rng);
+                let cost = eval(&genome);
+                outcome.record(&genome, cost);
+                Individual { genome, cost }
+            })
+            .collect();
+        while outcome.evaluations < budget {
+            // Sort so elites sit at the front.
+            population.sort_by(|a, b| match (a.cost, b.cost) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite costs"),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            });
+            let mut next: Vec<Individual> = population
+                .iter()
+                .take(self.elites.min(population.len()))
+                .cloned()
+                .collect();
+            while next.len() < pop_size && outcome.evaluations < budget {
+                let p1 = Self::tournament(&population, rng).genome.clone();
+                let p2 = Self::tournament(&population, rng).genome.clone();
+                let mut child = p1.clone();
+                if rng.gen_bool(self.crossover_rate.clamp(0.0, 1.0)) {
+                    for (c, g2) in child.iter_mut().zip(&p2) {
+                        if rng.gen_bool(0.5) {
+                            *c = *g2;
+                        }
+                    }
+                }
+                for (i, c) in child.iter_mut().enumerate() {
+                    if rng.gen_bool(self.mutation_rate.clamp(0.0, 1.0)) {
+                        *c = rng.gen_range(0..space.cardinality(i));
+                    }
+                }
+                let cost = eval(&child);
+                outcome.record(&child, cost);
+                next.push(Individual {
+                    genome: child,
+                    cost,
+                });
+            }
+            population = next;
+        }
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn improves_across_generations() {
+        let space = SearchSpace::uniform(8, 10);
+        let mut rng = Rng::seed_from_u64(21);
+        let ga = GeneticAlgorithm {
+            population: 30,
+            mutation_rate: 0.1,
+            crossover_rate: 0.5,
+            elites: 2,
+        };
+        let outcome = ga.run(
+            &space,
+            1_500,
+            |g| Some(g.iter().map(|&v| v as f64).sum()),
+            &mut rng,
+        );
+        // Optimum (all zeros) is easy for GA on a linear objective.
+        assert!(outcome.best_cost().unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let space = SearchSpace::uniform(4, 4);
+        let mut rng = Rng::seed_from_u64(22);
+        let mut calls = 0usize;
+        GeneticAlgorithm::default().run(
+            &space,
+            230,
+            |_| {
+                calls += 1;
+                Some(1.0)
+            },
+            &mut rng,
+        );
+        assert_eq!(calls, 230);
+    }
+
+    #[test]
+    fn all_infeasible_population_yields_no_best() {
+        let space = SearchSpace::uniform(3, 3);
+        let mut rng = Rng::seed_from_u64(23);
+        let outcome = GeneticAlgorithm::default().run(&space, 150, |_| None, &mut rng);
+        assert!(outcome.best.is_none());
+    }
+}

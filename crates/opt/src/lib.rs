@@ -1,0 +1,144 @@
+//! # opt-methods — classical design-space-exploration baselines
+//!
+//! The non-RL optimization methods ConfuciuX is compared against (§II-E,
+//! §IV-A3): grid search, random search, simulated annealing, a generic
+//! genetic algorithm, and Bayesian optimization with a Gaussian-process
+//! surrogate — plus the paper's own specialized **local GA** used as the
+//! second-stage fine-tuner (§III-G).
+//!
+//! All methods minimize a black-box objective over a discrete space and
+//! are budgeted in *evaluations* so they can be compared head-to-head with
+//! the RL agents' epoch budgets.
+//!
+//! ```
+//! use opt_methods::{RandomSearch, SearchSpace, Optimizer};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::uniform(4, 5); // 4 genes, 5 levels each
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // Minimize the sum of levels; optimum is all zeros.
+//! let outcome = RandomSearch::default().run(
+//!     &space, 200,
+//!     |g| Some(g.iter().sum::<usize>() as f64),
+//!     &mut rng);
+//! assert!(outcome.best.unwrap().1 <= 2.0); // near the all-zero optimum
+//! ```
+
+mod anneal;
+mod bayesian;
+mod genetic;
+mod grid;
+mod local_ga;
+mod outcome;
+mod random;
+mod space;
+
+pub use anneal::SimulatedAnnealing;
+pub use bayesian::BayesianOpt;
+pub use genetic::GeneticAlgorithm;
+pub use grid::GridSearch;
+pub use local_ga::{FineSpace, LocalGa, LocalGaConfig};
+pub use outcome::SearchOutcome;
+pub use random::RandomSearch;
+pub use space::SearchSpace;
+
+/// The RNG type shared by all optimizers.
+pub type Rng = rand::rngs::StdRng;
+
+/// A black-box minimizer over a discrete [`SearchSpace`].
+///
+/// `eval` returns `Some(cost)` for feasible genomes and `None` for genomes
+/// violating the platform constraint; optimizers must survive long runs of
+/// infeasible evaluations (tight-constraint regimes in Table IV).
+pub trait Optimizer {
+    /// Runs the search for exactly `budget` objective evaluations.
+    fn run(
+        &self,
+        space: &SearchSpace,
+        budget: usize,
+        eval: impl FnMut(&[usize]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> SearchOutcome;
+
+    /// Method name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Every baseline must find the optimum of a trivially separable
+    /// objective within a modest budget.
+    #[test]
+    fn all_optimizers_solve_separable_objective() {
+        let space = SearchSpace::uniform(3, 6);
+        let eval = |g: &[usize]| {
+            Some(
+                g.iter()
+                    .map(|&v| (v as f64 - 2.0).powi(2))
+                    .sum::<f64>(),
+            )
+        };
+        let opts: Vec<(Box<dyn Fn(&mut Rng) -> SearchOutcome>, &str)> = vec![
+            (
+                Box::new(|rng: &mut Rng| RandomSearch::default().run(&space, 600, eval, rng)),
+                "random",
+            ),
+            (
+                Box::new(|rng: &mut Rng| GridSearch::new(1).run(&space, 600, eval, rng)),
+                "grid",
+            ),
+            (
+                Box::new(|rng: &mut Rng| {
+                    SimulatedAnnealing::default().run(&space, 600, eval, rng)
+                }),
+                "sa",
+            ),
+            (
+                Box::new(|rng: &mut Rng| {
+                    GeneticAlgorithm::default().run(&space, 600, eval, rng)
+                }),
+                "ga",
+            ),
+            (
+                Box::new(|rng: &mut Rng| BayesianOpt::default().run(&space, 150, eval, rng)),
+                "bo",
+            ),
+        ];
+        for (run, name) in opts {
+            let mut rng = Rng::seed_from_u64(123);
+            let outcome = run(&mut rng);
+            let (genome, cost) = outcome.best.expect(name);
+            assert_eq!(cost, 0.0, "{name} reached {cost} at {genome:?}");
+        }
+    }
+
+    /// With a constraint that rejects most of the space, optimizers must
+    /// still report feasible bests (or a well-formed empty outcome).
+    #[test]
+    fn optimizers_respect_infeasibility() {
+        let space = SearchSpace::uniform(2, 10);
+        // Feasible only when the sum is under 4.
+        let eval = |g: &[usize]| {
+            let s: usize = g.iter().sum();
+            if s < 4 {
+                Some(100.0 - s as f64)
+            } else {
+                None
+            }
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        for outcome in [
+            RandomSearch::default().run(&space, 300, eval, &mut rng),
+            SimulatedAnnealing::default().run(&space, 300, eval, &mut rng),
+            GeneticAlgorithm::default().run(&space, 300, eval, &mut rng),
+        ] {
+            if let Some((genome, cost)) = outcome.best {
+                assert!(genome.iter().sum::<usize>() < 4);
+                assert!(cost <= 100.0);
+            }
+        }
+    }
+}

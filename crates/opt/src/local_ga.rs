@@ -1,0 +1,342 @@
+use rand::Rng as _;
+
+use crate::Rng;
+
+/// The fine-grained integer space the second-stage GA explores: gene `i`
+/// takes any integer in `lo[i]..=hi[i]` (actual PE counts and tile sizes,
+/// not the coarse 12-level grid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FineSpace {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+impl FineSpace {
+    /// Creates a fine space from per-gene inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty, mismatched, or inverted.
+    pub fn new(lo: Vec<i64>, hi: Vec<i64>) -> Self {
+        assert!(!lo.is_empty() && lo.len() == hi.len(), "bad bounds");
+        assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h),
+            "lo must not exceed hi"
+        );
+        FineSpace { lo, hi }
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the space has no genes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Clamps a genome into bounds.
+    pub fn clamp(&self, genome: &mut [i64]) {
+        for ((g, &l), &h) in genome.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *g = (*g).clamp(l, h);
+        }
+    }
+
+    /// True if `genome` lies inside the bounds.
+    pub fn contains(&self, genome: &[i64]) -> bool {
+        genome.len() == self.len()
+            && genome
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(g, (l, h))| l <= g && g <= h)
+    }
+}
+
+/// Configuration of the paper's local fine-tuning GA (§III-G, §IV-E:
+/// 20 individuals, local crossover rate 0.2, local mutation rate 0.05,
+/// mutation step 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalGaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Per-gene local-mutation probability.
+    pub mutation_rate: f64,
+    /// Maximum ± step of a local mutation.
+    pub mutation_step: i64,
+    /// Per-individual local (self-)crossover probability.
+    pub crossover_rate: f64,
+    /// Genes per layer (2 for PE/buffer, 3 with the dataflow gene);
+    /// self-crossover swaps whole layer groups.
+    pub genes_per_layer: usize,
+    /// Elite individuals preserved each generation.
+    pub elites: usize,
+}
+
+impl Default for LocalGaConfig {
+    fn default() -> Self {
+        LocalGaConfig {
+            population: 20,
+            mutation_rate: 0.05,
+            mutation_step: 4,
+            crossover_rate: 0.2,
+            genes_per_layer: 2,
+            elites: 2,
+        }
+    }
+}
+
+/// The specialized second-stage genetic algorithm: seeded with the RL
+/// stage's solution, it only applies *local* mutation (± a small step on a
+/// gene) and *local self-crossover* (swapping the gene groups of two layers
+/// within one parent), preserving the learnt budget split across layers
+/// (§III-G explains why generic crossover breaks feasibility).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalGa {
+    config: LocalGaConfig,
+}
+
+#[derive(Clone)]
+struct Individual {
+    genome: Vec<i64>,
+    cost: Option<f64>,
+}
+
+impl LocalGa {
+    /// Creates the fine-tuner.
+    pub fn new(config: LocalGaConfig) -> Self {
+        assert!(config.population >= 2, "population must be >= 2");
+        assert!(config.genes_per_layer >= 1);
+        LocalGa { config }
+    }
+
+    /// Runs the fine-tuning search from `init` for `budget` evaluations.
+    ///
+    /// `eval` returns `Some(cost)` for feasible genomes. The initial genome
+    /// is evaluated first, so a feasible seed guarantees a feasible result
+    /// at least as good as the seed.
+    pub fn run(
+        &self,
+        space: &FineSpace,
+        init: &[i64],
+        budget: usize,
+        mut eval: impl FnMut(&[i64]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> FineOutcome {
+        assert_eq!(init.len(), space.len(), "seed width mismatch");
+        let cfg = &self.config;
+        let mut outcome = FineOutcome::new();
+        let seed_cost = eval(init);
+        outcome.record(init, seed_cost);
+        // First population: the seed plus local jitters of it.
+        let mut population: Vec<Individual> = vec![Individual {
+            genome: init.to_vec(),
+            cost: seed_cost,
+        }];
+        while population.len() < cfg.population && outcome.evaluations < budget {
+            let mut g = init.to_vec();
+            self.mutate(&mut g, space, rng);
+            let c = eval(&g);
+            outcome.record(&g, c);
+            population.push(Individual { genome: g, cost: c });
+        }
+        while outcome.evaluations < budget {
+            population.sort_by(|a, b| match (a.cost, b.cost) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite costs"),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            });
+            let mut next: Vec<Individual> = population
+                .iter()
+                .take(cfg.elites.min(population.len()))
+                .cloned()
+                .collect();
+            while next.len() < cfg.population && outcome.evaluations < budget {
+                // Parents are drawn from the better half (valid parents
+                // reproduce, §III-G).
+                let half = (population.len() / 2).max(1);
+                let parent = &population[rng.gen_range(0..half)];
+                let mut child = parent.genome.clone();
+                if rng.gen_bool(cfg.crossover_rate.clamp(0.0, 1.0)) {
+                    self.self_crossover(&mut child, rng);
+                }
+                self.mutate(&mut child, space, rng);
+                let cost = eval(&child);
+                outcome.record(&child, cost);
+                next.push(Individual {
+                    genome: child,
+                    cost,
+                });
+            }
+            population = next;
+        }
+        outcome
+    }
+
+    /// Local mutation: each gene moves by at most ± `mutation_step`.
+    fn mutate(&self, genome: &mut [i64], space: &FineSpace, rng: &mut Rng) {
+        for g in genome.iter_mut() {
+            if rng.gen_bool(self.config.mutation_rate.clamp(0.0, 1.0)) {
+                let delta = rng.gen_range(-self.config.mutation_step..=self.config.mutation_step);
+                *g += delta;
+            }
+        }
+        space.clamp(genome);
+    }
+
+    /// Local self-crossover: swap the gene groups of two random layers
+    /// within the same genome.
+    fn self_crossover(&self, genome: &mut [i64], rng: &mut Rng) {
+        let gpl = self.config.genes_per_layer;
+        let layers = genome.len() / gpl;
+        if layers < 2 {
+            return;
+        }
+        let a = rng.gen_range(0..layers);
+        let b = rng.gen_range(0..layers);
+        if a == b {
+            return;
+        }
+        for k in 0..gpl {
+            genome.swap(a * gpl + k, b * gpl + k);
+        }
+    }
+}
+
+/// Outcome of a fine-space search (integer genomes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineOutcome {
+    /// Best feasible genome and cost, if any.
+    pub best: Option<(Vec<i64>, f64)>,
+    /// Best-so-far trace per evaluation.
+    pub trace: Vec<f64>,
+    /// Evaluations spent.
+    pub evaluations: usize,
+}
+
+impl FineOutcome {
+    fn new() -> Self {
+        FineOutcome {
+            best: None,
+            trace: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    fn record(&mut self, genome: &[i64], cost: Option<f64>) {
+        self.evaluations += 1;
+        if let Some(c) = cost {
+            if self.best.as_ref().map_or(true, |(_, b)| c < *b) {
+                self.best = Some((genome.to_vec(), c));
+            }
+        }
+        self.trace
+            .push(self.best.as_ref().map_or(f64::INFINITY, |(_, b)| *b));
+    }
+
+    /// Best cost if a feasible genome was found.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|(_, c)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_regresses_below_feasible_seed() {
+        let space = FineSpace::new(vec![1; 6], vec![100; 6]);
+        let seed = vec![50i64; 6];
+        let mut rng = Rng::seed_from_u64(41);
+        let ga = LocalGa::new(LocalGaConfig::default());
+        let outcome = ga.run(
+            &space,
+            &seed,
+            500,
+            |g| Some(g.iter().map(|&v| (v - 40).pow(2) as f64).sum()),
+            &mut rng,
+        );
+        let seed_cost: f64 = seed.iter().map(|&v| (v - 40).pow(2) as f64).sum();
+        assert!(outcome.best_cost().unwrap() <= seed_cost);
+    }
+
+    #[test]
+    fn fine_tunes_toward_nearby_optimum() {
+        // Optimum at 40 within step-4 reach of the seed over generations.
+        let space = FineSpace::new(vec![1; 4], vec![128; 4]);
+        let seed = vec![48i64; 4];
+        let mut rng = Rng::seed_from_u64(42);
+        let ga = LocalGa::new(LocalGaConfig {
+            mutation_rate: 0.5,
+            ..LocalGaConfig::default()
+        });
+        let outcome = ga.run(
+            &space,
+            &seed,
+            2_000,
+            |g| Some(g.iter().map(|&v| (v - 40).abs() as f64).sum()),
+            &mut rng,
+        );
+        assert!(outcome.best_cost().unwrap() <= 2.0, "{:?}", outcome.best);
+    }
+
+    #[test]
+    fn self_crossover_preserves_multiset() {
+        let ga = LocalGa::new(LocalGaConfig {
+            genes_per_layer: 2,
+            ..LocalGaConfig::default()
+        });
+        let mut rng = Rng::seed_from_u64(43);
+        let mut genome = vec![1i64, 2, 3, 4, 5, 6];
+        let mut sorted_before = genome.clone();
+        sorted_before.sort_unstable();
+        for _ in 0..20 {
+            ga.self_crossover(&mut genome, &mut rng);
+        }
+        let mut sorted_after = genome.clone();
+        sorted_after.sort_unstable();
+        assert_eq!(sorted_before, sorted_after);
+        // Pairs stay intact: (1,2), (3,4), (5,6) in some order.
+        for pair in genome.chunks(2) {
+            assert_eq!(pair[1] - pair[0], 1);
+        }
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let space = FineSpace::new(vec![1, 1], vec![4, 4]);
+        let ga = LocalGa::new(LocalGaConfig {
+            mutation_rate: 1.0,
+            mutation_step: 10,
+            ..LocalGaConfig::default()
+        });
+        let mut rng = Rng::seed_from_u64(44);
+        for _ in 0..50 {
+            let mut g = vec![2i64, 3];
+            ga.mutate(&mut g, &space, &mut rng);
+            assert!(space.contains(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_seed_can_still_find_feasible_points() {
+        let space = FineSpace::new(vec![0], vec![20]);
+        let mut rng = Rng::seed_from_u64(45);
+        let ga = LocalGa::new(LocalGaConfig {
+            mutation_rate: 1.0,
+            ..LocalGaConfig::default()
+        });
+        // Feasible only at <= 6; seed at 10 is infeasible.
+        let outcome = ga.run(
+            &space,
+            &[10],
+            300,
+            |g| if g[0] <= 6 { Some(g[0] as f64) } else { None },
+            &mut rng,
+        );
+        assert!(outcome.best_cost().is_some());
+    }
+}

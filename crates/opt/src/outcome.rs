@@ -1,0 +1,94 @@
+use serde::{Deserialize, Serialize};
+
+/// Result of a search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Best feasible genome and its cost, if any feasible point was found
+    /// (the paper prints `NAN` when a method never satisfies the
+    /// constraint within the budget).
+    pub best: Option<(Vec<usize>, f64)>,
+    /// Best-so-far cost after each evaluation; `f64::INFINITY` while no
+    /// feasible point has been seen. Used for the convergence plots
+    /// (Figs. 7 and 9).
+    pub trace: Vec<f64>,
+    /// Evaluations actually spent.
+    pub evaluations: usize,
+}
+
+impl SearchOutcome {
+    /// An outcome accumulator.
+    pub fn new() -> Self {
+        SearchOutcome {
+            best: None,
+            trace: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Records one evaluation (`None` = infeasible genome).
+    pub fn record(&mut self, genome: &[usize], cost: Option<f64>) {
+        self.evaluations += 1;
+        if let Some(c) = cost {
+            let improved = self.best.as_ref().map_or(true, |(_, b)| c < *b);
+            if improved {
+                self.best = Some((genome.to_vec(), c));
+            }
+        }
+        self.trace
+            .push(self.best.as_ref().map_or(f64::INFINITY, |(_, b)| *b));
+    }
+
+    /// Best cost if a feasible point was found.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|(_, c)| *c)
+    }
+
+    /// Number of evaluations until the cost first dropped within `factor`
+    /// of the final best (a simple convergence-speed metric for Table V).
+    pub fn evals_to_within(&self, factor: f64) -> Option<usize> {
+        let target = self.best_cost()? * factor;
+        self.trace.iter().position(|&c| c <= target).map(|i| i + 1)
+    }
+}
+
+impl Default for SearchOutcome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_running_best() {
+        let mut o = SearchOutcome::new();
+        o.record(&[0], None);
+        assert_eq!(o.trace, vec![f64::INFINITY]);
+        o.record(&[1], Some(10.0));
+        o.record(&[2], Some(20.0)); // worse, best unchanged
+        o.record(&[3], Some(5.0));
+        assert_eq!(o.best_cost(), Some(5.0));
+        assert_eq!(o.trace, vec![f64::INFINITY, 10.0, 10.0, 5.0]);
+        assert_eq!(o.best.as_ref().unwrap().0, vec![3]);
+        assert_eq!(o.evaluations, 4);
+    }
+
+    #[test]
+    fn evals_to_within_finds_first_crossing() {
+        let mut o = SearchOutcome::new();
+        o.record(&[0], Some(100.0));
+        o.record(&[1], Some(12.0));
+        o.record(&[2], Some(10.0));
+        assert_eq!(o.evals_to_within(1.25), Some(2)); // 12 <= 10*1.25
+        assert_eq!(o.evals_to_within(1.0), Some(3));
+    }
+
+    #[test]
+    fn empty_outcome_has_no_best() {
+        let o = SearchOutcome::new();
+        assert_eq!(o.best_cost(), None);
+        assert_eq!(o.evals_to_within(1.0), None);
+    }
+}

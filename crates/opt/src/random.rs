@@ -1,0 +1,61 @@
+use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+
+/// Uniform random search: sample `budget` genomes and keep the best
+/// feasible one (§II-E; Bergstra & Bengio, 2012).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomSearch;
+
+impl Optimizer for RandomSearch {
+    fn run(
+        &self,
+        space: &SearchSpace,
+        budget: usize,
+        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        let mut outcome = SearchOutcome::new();
+        for _ in 0..budget {
+            let genome = space.sample(rng);
+            let cost = eval(&genome);
+            outcome.record(&genome, cost);
+        }
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spends_exactly_the_budget() {
+        let space = SearchSpace::uniform(3, 4);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut calls = 0;
+        let outcome = RandomSearch.run(
+            &space,
+            57,
+            |_| {
+                calls += 1;
+                Some(1.0)
+            },
+            &mut rng,
+        );
+        assert_eq!(calls, 57);
+        assert_eq!(outcome.evaluations, 57);
+    }
+
+    #[test]
+    fn reports_none_when_everything_infeasible() {
+        let space = SearchSpace::uniform(2, 3);
+        let mut rng = Rng::seed_from_u64(2);
+        let outcome = RandomSearch.run(&space, 50, |_| None, &mut rng);
+        assert!(outcome.best.is_none());
+        assert!(outcome.trace.iter().all(|c| c.is_infinite()));
+    }
+}

@@ -1,0 +1,120 @@
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+/// A discrete box search space: gene `i` takes values in `0..cardinality(i)`.
+///
+/// For the LP resource-assignment problem the genome is laid out as the
+/// paper describes (§III-G): `2N` genes for an `N`-layer model (PE level,
+/// buffer level per layer), or `3N` in MIX mode (plus the dataflow gene).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    dims: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// A space with explicitly given per-gene cardinalities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any cardinality is zero.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "search space needs at least one gene");
+        assert!(dims.iter().all(|&d| d > 0), "cardinalities must be >= 1");
+        SearchSpace { dims }
+    }
+
+    /// `genes` genes with the same cardinality `levels` (the paper's
+    /// `L`-level action space).
+    pub fn uniform(genes: usize, levels: usize) -> Self {
+        Self::new(vec![levels; genes])
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space has no genes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Cardinality of gene `i`.
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Per-gene cardinalities.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Log10 of the total number of genomes (the paper's `O(10^72)`-style
+    /// design-space size).
+    pub fn log10_size(&self) -> f64 {
+        self.dims.iter().map(|&d| (d as f64).log10()).sum()
+    }
+
+    /// Uniformly random genome.
+    pub fn sample(&self, rng: &mut crate::Rng) -> Vec<usize> {
+        self.dims.iter().map(|&d| rng.gen_range(0..d)).collect()
+    }
+
+    /// True if `genome` is inside the space.
+    pub fn contains(&self, genome: &[usize]) -> bool {
+        genome.len() == self.dims.len()
+            && genome.iter().zip(&self.dims).all(|(&g, &d)| g < d)
+    }
+
+    /// Normalizes a genome to `[0, 1]^n` (for the GP surrogate's kernel).
+    pub fn normalize(&self, genome: &[usize]) -> Vec<f64> {
+        genome
+            .iter()
+            .zip(&self.dims)
+            .map(|(&g, &d)| {
+                if d <= 1 {
+                    0.0
+                } else {
+                    g as f64 / (d - 1) as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_space_shape() {
+        let s = SearchSpace::uniform(104, 12);
+        assert_eq!(s.len(), 104);
+        assert_eq!(s.cardinality(0), 12);
+        // 12^104 ≈ 10^112 — the design-space size quoted in §IV-C4.
+        assert!((s.log10_size() - 112.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn samples_are_contained() {
+        let s = SearchSpace::new(vec![3, 1, 7]);
+        let mut rng = crate::Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_box() {
+        let s = SearchSpace::new(vec![5, 1]);
+        assert_eq!(s.normalize(&[4, 0]), vec![1.0, 0.0]);
+        assert_eq!(s.normalize(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gene")]
+    fn empty_space_panics() {
+        let _ = SearchSpace::new(vec![]);
+    }
+}

@@ -1,0 +1,189 @@
+use tinynn::{Activation, Adam, Matrix, Mlp, Rng};
+
+use crate::{
+    discounted_returns, standardize, Agent, Env, EpochReport, PolicyBackboneKind, PolicyNet,
+    PolicyStep,
+};
+
+/// Hyper-parameters for [`A2c`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct A2cConfig {
+    /// Discount factor.
+    pub gamma: f32,
+    /// Actor learning rate.
+    pub lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_beta: f32,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Policy backbone.
+    pub backbone: PolicyBackboneKind,
+    /// Hidden width of the actor.
+    pub hidden: usize,
+    /// Hidden width of the critic MLP.
+    pub critic_hidden: usize,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            gamma: 0.9,
+            lr: 3e-3,
+            critic_lr: 3e-3,
+            entropy_beta: 1e-2,
+            max_grad_norm: 5.0,
+            backbone: PolicyBackboneKind::Rnn,
+            hidden: 128,
+            critic_hidden: 64,
+        }
+    }
+}
+
+/// Advantage actor-critic (Mnih et al., 2016), synchronous single-worker
+/// variant: Monte-Carlo returns with a learned state-value baseline.
+#[derive(Debug, Clone)]
+pub struct A2c {
+    policy: PolicyNet,
+    critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    config: A2cConfig,
+}
+
+impl A2c {
+    /// Creates the agent.
+    pub fn new(obs_dim: usize, action_dims: Vec<usize>, config: A2cConfig, rng: &mut Rng) -> Self {
+        let policy = PolicyNet::new(obs_dim, &action_dims, config.backbone, config.hidden, rng);
+        let critic = Mlp::new(
+            &[obs_dim, config.critic_hidden, config.critic_hidden, 1],
+            Activation::Tanh,
+            rng,
+        );
+        A2c {
+            policy,
+            critic,
+            actor_opt: Adam::new(config.lr),
+            critic_opt: Adam::new(config.critic_lr),
+            config,
+        }
+    }
+
+    /// Immutable access to the critic (used by the Fig. 6 study harness).
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
+    }
+}
+
+impl Agent for A2c {
+    fn train_epoch(&mut self, env: &mut dyn Env, rng: &mut Rng) -> EpochReport {
+        let mut state = self.policy.initial_state();
+        let mut obs = env.reset();
+        let mut observations: Vec<Vec<f32>> = Vec::with_capacity(env.horizon());
+        let mut steps: Vec<PolicyStep> = Vec::with_capacity(env.horizon());
+        let mut rewards: Vec<f32> = Vec::with_capacity(env.horizon());
+        loop {
+            observations.push(obs.clone());
+            let step = self.policy.act(&obs, &mut state, rng);
+            let result = env.step(&step.actions);
+            steps.push(step);
+            rewards.push(result.reward);
+            if result.done {
+                break;
+            }
+            obs = result.obs;
+        }
+        let returns = discounted_returns(&rewards, self.config.gamma);
+        // Critic values and advantage baseline.
+        let mut advantages = Vec::with_capacity(returns.len());
+        for (o, &g) in observations.iter().zip(&returns) {
+            let v = self.critic.infer(&Matrix::row_from_slice(o)).get(0, 0);
+            advantages.push(g - v);
+        }
+        let coefs = if advantages.len() == 1 {
+            // One-step episode (LS mode): the critic baseline already
+            // centers the signal; use it raw but bounded.
+            vec![advantages[0].clamp(-10.0, 10.0)]
+        } else {
+            standardize(&advantages)
+        };
+        if coefs.iter().any(|c| c.abs() > 0.0) {
+            self.policy
+                .backward_episode(&steps, &coefs, self.config.entropy_beta, None, None);
+            self.policy
+                .apply_update(&mut self.actor_opt, self.config.max_grad_norm);
+        }
+        // Critic regression toward the Monte-Carlo returns.
+        self.critic.zero_grad();
+        for (o, &g) in observations.iter().zip(&returns) {
+            let x = Matrix::row_from_slice(o);
+            let (v, cache) = self.critic.forward(&x);
+            let err = v.get(0, 0) - g;
+            let dout = Matrix::from_vec(1, 1, vec![2.0 * err / returns.len() as f32]);
+            self.critic.backward(&cache, &dout);
+        }
+        let mut params = self.critic.params_mut();
+        tinynn::clip_global_grad_norm(&mut params, self.config.max_grad_norm);
+        self.critic_opt.step(&mut params);
+        self.critic.zero_grad();
+
+        EpochReport {
+            episode_reward: rewards.iter().sum(),
+            feasible_cost: env.outcome_cost(),
+            steps: steps.len(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "A2C"
+    }
+
+    fn param_count(&self) -> usize {
+        self.policy.param_count() + self.critic.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{final_quarter_reward, PatternEnv};
+    use tinynn::SeedableRng;
+
+    #[test]
+    fn learns_the_pattern_task() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut env = PatternEnv::new(4, vec![3, 3]);
+        let config = A2cConfig {
+            hidden: 32,
+            critic_hidden: 32,
+            lr: 1e-2,
+            ..A2cConfig::default()
+        };
+        let mut agent = A2c::new(env.obs_dim(), env.action_dims(), config, &mut rng);
+        let final_reward = final_quarter_reward(&mut agent, &mut env, 400, &mut rng);
+        assert!(final_reward > 1.6, "final reward {final_reward}");
+    }
+
+    #[test]
+    fn critic_tracks_returns() {
+        // After training on a constant-reward environment, V(s0) should
+        // approach the episode return.
+        let mut rng = Rng::seed_from_u64(18);
+        let mut env = PatternEnv::new(2, vec![1]); // only one action: always correct
+        let config = A2cConfig {
+            hidden: 8,
+            critic_hidden: 16,
+            critic_lr: 1e-2,
+            ..A2cConfig::default()
+        };
+        let mut agent = A2c::new(env.obs_dim(), env.action_dims(), config, &mut rng);
+        for _ in 0..300 {
+            agent.train_epoch(&mut env, &mut rng);
+        }
+        let obs = env.reset();
+        let v = agent.critic().infer(&Matrix::row_from_slice(&obs)).get(0, 0);
+        // G_0 = 1 + 0.9*1 = 1.9 for horizon 2, gamma 0.9.
+        assert!((v - 1.9).abs() < 0.4, "critic value {v}");
+    }
+}

@@ -1,0 +1,47 @@
+use tinynn::Rng;
+
+use crate::Env;
+
+/// Summary of one training epoch (= one environment episode, the paper's
+/// unit of search budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Sum of shaped rewards over the episode.
+    pub episode_reward: f32,
+    /// Objective cost of the episode's assignment if it was feasible.
+    pub feasible_cost: Option<f64>,
+    /// Steps taken before the episode ended.
+    pub steps: usize,
+}
+
+/// A reinforcement-learning agent that can be trained one episode at a time.
+///
+/// All seven algorithms in this crate implement this trait, which is what
+/// lets the experiment harness compare them under identical epoch budgets.
+pub trait Agent {
+    /// Runs one episode in `env`, updating the agent's parameters
+    /// (possibly buffered across episodes, as in PPO/DDPG).
+    fn train_epoch(&mut self, env: &mut dyn Env, rng: &mut Rng) -> EpochReport;
+
+    /// Algorithm name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Total scalar parameters across all networks (Table V's memory
+    /// overhead proxy).
+    fn param_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_report_is_cloneable_and_comparable() {
+        let r = EpochReport {
+            episode_reward: 1.0,
+            feasible_cost: Some(2.0),
+            steps: 3,
+        };
+        assert_eq!(r.clone(), r);
+    }
+}

@@ -1,0 +1,411 @@
+use tinynn::{
+    categorical_entropy, sample_categorical, softmax, Adam, Linear, LstmCache, LstmCell,
+    LstmState, Matrix, Param, Rng,
+};
+
+/// Backbone of the policy network: the paper's default is a single
+/// LSTM-128 layer; Table IX also evaluates an MLP of the same width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyBackboneKind {
+    /// Recurrent backbone (remembers the budget consumed by earlier layers).
+    Rnn,
+    /// Feed-forward backbone (stateless across time steps).
+    Mlp,
+}
+
+#[derive(Debug, Clone)]
+enum Backbone {
+    Rnn(LstmCell),
+    Mlp(Linear),
+}
+
+/// Per-step record needed to replay/backprop the policy decision.
+#[derive(Debug, Clone)]
+pub struct PolicyStep {
+    obs: Matrix,
+    features: Matrix,
+    lstm_cache: Option<LstmCache>,
+    /// Per-head action probabilities at decision time.
+    pub probs: Vec<Vec<f32>>,
+    /// Sub-actions sampled at this step.
+    pub actions: Vec<usize>,
+    /// Sum over heads of `log π(a|s)` at decision time.
+    pub log_prob: f32,
+}
+
+/// A multi-head stochastic policy: a shared backbone followed by one
+/// softmax head per discrete sub-action (PEs, buffers, optionally dataflow).
+#[derive(Debug, Clone)]
+pub struct PolicyNet {
+    backbone: Backbone,
+    heads: Vec<Linear>,
+    hidden: usize,
+    obs_dim: usize,
+}
+
+impl PolicyNet {
+    /// Builds a policy with the given backbone and one head per entry of
+    /// `action_dims`, using the paper's hidden width of 128.
+    pub fn new(
+        obs_dim: usize,
+        action_dims: &[usize],
+        kind: PolicyBackboneKind,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!action_dims.is_empty(), "need at least one action head");
+        let backbone = match kind {
+            PolicyBackboneKind::Rnn => Backbone::Rnn(LstmCell::new(obs_dim, hidden, rng)),
+            PolicyBackboneKind::Mlp => Backbone::Mlp(Linear::new(obs_dim, hidden, rng)),
+        };
+        let heads = action_dims
+            .iter()
+            .map(|&n| Linear::new(hidden, n, rng))
+            .collect();
+        PolicyNet {
+            backbone,
+            heads,
+            hidden,
+            obs_dim,
+        }
+    }
+
+    /// Observation width this policy expects.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Cardinality of each action head.
+    pub fn action_dims(&self) -> Vec<usize> {
+        self.heads.iter().map(Linear::output_dim).collect()
+    }
+
+    /// Fresh recurrent state for an episode (all zeros; unused by MLP).
+    pub fn initial_state(&self) -> LstmState {
+        LstmState::zeros(1, self.hidden)
+    }
+
+    fn features(&self, obs: &Matrix, state: &mut LstmState) -> (Matrix, Option<LstmCache>) {
+        match &self.backbone {
+            Backbone::Rnn(cell) => {
+                let (next, cache) = cell.forward(obs, state);
+                let h = next.h.clone();
+                *state = next;
+                (h, Some(cache))
+            }
+            Backbone::Mlp(l1) => (l1.forward(obs).map(f32::tanh), None),
+        }
+    }
+
+    /// Samples one tuple of sub-actions, advancing the recurrent state.
+    pub fn act(&self, obs: &[f32], state: &mut LstmState, rng: &mut Rng) -> PolicyStep {
+        self.decide(obs, state, |probs| sample_categorical(probs, rng))
+    }
+
+    /// Picks the argmax action per head (evaluation mode).
+    pub fn act_greedy(&self, obs: &[f32], state: &mut LstmState) -> PolicyStep {
+        self.decide(obs, state, |probs| {
+            probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                .map(|(i, _)| i)
+                .expect("non-empty head")
+        })
+    }
+
+    fn decide(
+        &self,
+        obs: &[f32],
+        state: &mut LstmState,
+        mut pick: impl FnMut(&[f32]) -> usize,
+    ) -> PolicyStep {
+        assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
+        let obs_m = Matrix::row_from_slice(obs);
+        let (features, lstm_cache) = self.features(&obs_m, state);
+        let mut probs = Vec::with_capacity(self.heads.len());
+        let mut actions = Vec::with_capacity(self.heads.len());
+        let mut log_prob = 0.0;
+        for head in &self.heads {
+            let logits = head.forward(&features);
+            let p = softmax(&logits);
+            let a = pick(p.row(0));
+            log_prob += p.get(0, a).max(1e-12).ln();
+            probs.push(p.row(0).to_vec());
+            actions.push(a);
+        }
+        PolicyStep {
+            obs: obs_m,
+            features,
+            lstm_cache,
+            probs,
+            actions,
+            log_prob,
+        }
+    }
+
+    /// Recomputes `log π(a|s)` and per-head probabilities for a recorded
+    /// episode under the *current* parameters (needed by PPO's ratio).
+    /// Returns one `(log_prob, probs)` pair per step.
+    pub fn replay_log_probs(&self, steps: &[PolicyStep]) -> Vec<(f32, Vec<Vec<f32>>)> {
+        let mut state = self.initial_state();
+        steps
+            .iter()
+            .map(|step| {
+                let (features, _) = self.features(&step.obs, &mut state);
+                let mut lp = 0.0;
+                let mut all_probs = Vec::with_capacity(self.heads.len());
+                for (head, &a) in self.heads.iter().zip(&step.actions) {
+                    let p = softmax(&head.forward(&features));
+                    lp += p.get(0, a).max(1e-12).ln();
+                    all_probs.push(p.row(0).to_vec());
+                }
+                (lp, all_probs)
+            })
+            .collect()
+    }
+
+    /// Backpropagates a policy-gradient loss through the whole episode:
+    ///
+    /// ```text
+    /// L = Σ_t coef_t · (−log π(a_t|s_t)) − β · Σ_t H(π(·|s_t))
+    /// ```
+    ///
+    /// `coef_t` is the advantage/return weight (positive coefficients
+    /// reinforce the taken action). When `probs_override` is given (PPO),
+    /// the per-step dL/dlogits is scaled by `ratio_scale[t]` and evaluated
+    /// at the overridden probabilities.
+    pub fn backward_episode(
+        &mut self,
+        steps: &[PolicyStep],
+        coefs: &[f32],
+        entropy_beta: f32,
+        probs_override: Option<&[Vec<Vec<f32>>]>,
+        ratio_scale: Option<&[f32]>,
+    ) {
+        assert_eq!(steps.len(), coefs.len(), "one coefficient per step");
+        // dL/d features per step, computed head-by-head.
+        let mut dfeatures: Vec<Matrix> = Vec::with_capacity(steps.len());
+        for (t, step) in steps.iter().enumerate() {
+            let mut dfeat = Matrix::zeros(1, self.hidden);
+            for (h, head) in self.heads.iter_mut().enumerate() {
+                let probs: &[f32] = match probs_override {
+                    Some(all) => &all[t][h],
+                    None => &step.probs[h],
+                };
+                let a = step.actions[h];
+                let scale = ratio_scale.map_or(1.0, |r| r[t]);
+                let n = probs.len();
+                // d/dlogits of coef·(−logπ(a)) = coef·(p − onehot(a)).
+                let mut dlogits = Matrix::zeros(1, n);
+                for j in 0..n {
+                    let onehot = if j == a { 1.0 } else { 0.0 };
+                    let mut g = coefs[t] * scale * (probs[j] - onehot);
+                    if entropy_beta > 0.0 {
+                        // d(−βH)/dlogit_j = β·p_j·(ln p_j + H).
+                        let ent = categorical_entropy(probs);
+                        g += entropy_beta * probs[j] * (probs[j].max(1e-12).ln() + ent);
+                    }
+                    dlogits.set(0, j, g);
+                }
+                let dfeat_h = head.backward(&step.features, &dlogits);
+                dfeat = dfeat.add(&dfeat_h);
+            }
+            dfeatures.push(dfeat);
+        }
+        // Backbone backward (BPTT for the RNN, independent steps for MLP).
+        match &mut self.backbone {
+            Backbone::Rnn(cell) => {
+                let mut dh = Matrix::zeros(1, self.hidden);
+                let mut dc = Matrix::zeros(1, self.hidden);
+                for (step, dfeat) in steps.iter().zip(&dfeatures).rev() {
+                    let cache = step
+                        .lstm_cache
+                        .as_ref()
+                        .expect("RNN policy steps carry an LSTM cache");
+                    let dh_total = dh.add(dfeat);
+                    let (_dx, dh_prev, dc_prev) = cell.backward(cache, &dh_total, &dc);
+                    dh = dh_prev;
+                    dc = dc_prev;
+                }
+            }
+            Backbone::Mlp(l1) => {
+                for (step, dfeat) in steps.iter().zip(&dfeatures) {
+                    // tanh derivative through the cached activated features.
+                    let dpre = dfeat.hadamard(&step.features.map(|v| 1.0 - v * v));
+                    l1.backward(&step.obs, &dpre);
+                }
+            }
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        match &mut self.backbone {
+            Backbone::Rnn(c) => c.zero_grad(),
+            Backbone::Mlp(l) => l.zero_grad(),
+        }
+        for h in &mut self.heads {
+            h.zero_grad();
+        }
+    }
+
+    /// Mutable references to all parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = match &mut self.backbone {
+            Backbone::Rnn(c) => c.params_mut(),
+            Backbone::Mlp(l) => l.params_mut(),
+        };
+        for h in &mut self.heads {
+            params.extend(h.params_mut());
+        }
+        params
+    }
+
+    /// Applies one clipped Adam update and clears gradients.
+    pub fn apply_update(&mut self, opt: &mut Adam, max_grad_norm: f32) {
+        let mut params = self.params_mut();
+        tinynn::clip_global_grad_norm(&mut params, max_grad_norm);
+        opt.step(&mut params);
+        self.zero_grad();
+    }
+
+    /// Total scalar parameter count (Table V's memory-overhead column).
+    pub fn param_count(&self) -> usize {
+        let backbone = match &self.backbone {
+            Backbone::Rnn(c) => {
+                let (a, b) = c.wx.w.shape();
+                let (d, e) = c.wh.w.shape();
+                a * b + d * e + c.b.w.cols()
+            }
+            Backbone::Mlp(l) => l.input_dim() * l.output_dim() + l.output_dim(),
+        };
+        backbone
+            + self
+                .heads
+                .iter()
+                .map(|h| h.input_dim() * h.output_dim() + h.output_dim())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::SeedableRng;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn act_produces_valid_actions() {
+        let mut rng = rng();
+        for kind in [PolicyBackboneKind::Rnn, PolicyBackboneKind::Mlp] {
+            let policy = PolicyNet::new(5, &[12, 12, 3], kind, 32, &mut rng);
+            let mut state = policy.initial_state();
+            let step = policy.act(&[0.1, -0.2, 0.3, 0.0, 1.0], &mut state, &mut rng);
+            assert_eq!(step.actions.len(), 3);
+            assert!(step.actions[0] < 12);
+            assert!(step.actions[2] < 3);
+            assert!(step.log_prob <= 0.0);
+        }
+    }
+
+    #[test]
+    fn reinforce_update_increases_action_probability() {
+        // Single-state bandit: reinforcing action 2 with positive coef must
+        // raise π(2|s). This is the crucial sign check for the whole PG path.
+        let mut rng = rng();
+        for kind in [PolicyBackboneKind::Rnn, PolicyBackboneKind::Mlp] {
+            let mut policy = PolicyNet::new(3, &[4], kind, 16, &mut rng);
+            let obs = [0.5, -0.5, 0.1];
+            let mut opt = Adam::new(5e-2);
+            let before = {
+                let mut s = policy.initial_state();
+                policy.act_greedy(&obs, &mut s).probs[0][2]
+            };
+            for _ in 0..30 {
+                let mut s = policy.initial_state();
+                let mut step = policy.act(&obs, &mut s, &mut rng);
+                // Force the "taken" action to 2 and reinforce it.
+                step.actions[0] = 2;
+                policy.backward_episode(&[step], &[1.0], 0.0, None, None);
+                policy.apply_update(&mut opt, 5.0);
+            }
+            let after = {
+                let mut s = policy.initial_state();
+                policy.act_greedy(&obs, &mut s).probs[0][2]
+            };
+            assert!(
+                after > before + 0.1,
+                "{kind:?}: p(a=2) went {before:.3} -> {after:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_coefficient_suppresses_action() {
+        let mut rng = rng();
+        let mut policy = PolicyNet::new(2, &[3], PolicyBackboneKind::Mlp, 16, &mut rng);
+        let obs = [1.0, -1.0];
+        let mut opt = Adam::new(5e-2);
+        let before = {
+            let mut s = policy.initial_state();
+            policy.act_greedy(&obs, &mut s).probs[0][0]
+        };
+        for _ in 0..30 {
+            let mut s = policy.initial_state();
+            let mut step = policy.act(&obs, &mut s, &mut rng);
+            step.actions[0] = 0;
+            policy.backward_episode(&[step], &[-1.0], 0.0, None, None);
+            policy.apply_update(&mut opt, 5.0);
+        }
+        let after = {
+            let mut s = policy.initial_state();
+            policy.act_greedy(&obs, &mut s).probs[0][0]
+        };
+        assert!(after < before, "p(a=0) went {before:.3} -> {after:.3}");
+    }
+
+    #[test]
+    fn entropy_bonus_flattens_distribution() {
+        let mut rng = rng();
+        let mut policy = PolicyNet::new(2, &[4], PolicyBackboneKind::Mlp, 16, &mut rng);
+        let obs = [0.3, 0.7];
+        let mut opt = Adam::new(5e-2);
+        // Pure entropy maximization (zero advantage, positive beta).
+        for _ in 0..60 {
+            let mut s = policy.initial_state();
+            let step = policy.act(&obs, &mut s, &mut rng);
+            policy.backward_episode(&[step], &[0.0], 0.1, None, None);
+            policy.apply_update(&mut opt, 5.0);
+        }
+        let mut s = policy.initial_state();
+        let probs = &policy.act_greedy(&obs, &mut s).probs[0];
+        let ent = categorical_entropy(probs);
+        assert!(ent > 0.95 * 4.0f32.ln(), "entropy {ent} not near uniform");
+    }
+
+    #[test]
+    fn replay_matches_act_log_probs() {
+        let mut rng = rng();
+        let policy = PolicyNet::new(4, &[5, 5], PolicyBackboneKind::Rnn, 16, &mut rng);
+        let mut state = policy.initial_state();
+        let steps: Vec<PolicyStep> = (0..3)
+            .map(|i| policy.act(&[i as f32, 0.0, 1.0, -1.0], &mut state, &mut rng))
+            .collect();
+        let replayed = policy.replay_log_probs(&steps);
+        for (step, (lp, _)) in steps.iter().zip(&replayed) {
+            assert!((step.log_prob - lp).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_count_positive_and_kind_dependent() {
+        let mut rng = rng();
+        let rnn = PolicyNet::new(10, &[12, 12], PolicyBackboneKind::Rnn, 128, &mut rng);
+        let mlp = PolicyNet::new(10, &[12, 12], PolicyBackboneKind::Mlp, 128, &mut rng);
+        assert!(rnn.param_count() > mlp.param_count());
+    }
+}

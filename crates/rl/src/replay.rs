@@ -1,0 +1,120 @@
+use rand::Rng as _;
+use tinynn::Rng;
+
+/// One off-policy transition with continuous (pre-binning) actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Observation before the action.
+    pub obs: Vec<f32>,
+    /// Continuous action vector in `[-1, 1]^A`.
+    pub action: Vec<f32>,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode terminated at this transition.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring replay buffer with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding up to `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            write: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Inserts a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.write] = t;
+            self.write = (self.write + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut Rng) -> Vec<&'a Transition> {
+        assert!(!self.is_empty(), "cannot sample an empty buffer");
+        (0..n)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::SeedableRng;
+
+    fn t(r: f32) -> Transition {
+        Transition {
+            obs: vec![r],
+            action: vec![0.0],
+            reward: r,
+            next_obs: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.data.iter().map(|x| x.reward).collect();
+        // Slots 0 and 1 were overwritten by 3 and 4.
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.push(t(1.0));
+        buf.push(t(2.0));
+        let mut rng = Rng::seed_from_u64(5);
+        assert_eq!(buf.sample(16, &mut rng).len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn sampling_empty_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = Rng::seed_from_u64(5);
+        let _ = buf.sample(1, &mut rng);
+    }
+}

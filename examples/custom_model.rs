@@ -1,0 +1,70 @@
+//! Bring your own DNN: define a custom layer sequence, build a problem
+//! around it, and search — the downstream-user workflow the library's API
+//! is designed for.
+//!
+//! ```sh
+//! cargo run --release --example custom_model
+//! ```
+
+use confuciux::{
+    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
+    PlatformClass, SearchBudget,
+};
+use dnn_models::Model;
+use maestro::{Dataflow, Layer};
+
+fn main() -> Result<(), maestro::MaestroError> {
+    // A small keyword-spotting-style network: two convs, a depth-wise
+    // separable block, and a classifier GEMM.
+    let model = Model::new(
+        "KwsNet",
+        vec![
+            Layer::conv2d("stem", 32, 1, 49, 10, 4, 4, 2)?,
+            Layer::depthwise("dw1", 32, 24, 5, 3, 3, 1)?,
+            Layer::conv2d("pw1", 64, 32, 22, 3, 1, 1, 1)?,
+            Layer::depthwise("dw2", 64, 22, 3, 3, 3, 1)?,
+            Layer::conv2d("pw2", 64, 64, 20, 1, 1, 1, 1)?,
+            Layer::gemm("classifier", 12, 1, 64 * 20)?,
+        ],
+    );
+    println!(
+        "custom model `{}`: {} layers, {:.3e} MACs",
+        model.name(),
+        model.len(),
+        model.total_macs()
+    );
+
+    let problem = HwProblem::builder(model)
+        .dataflow(Dataflow::EyerissStyle)
+        .objective(Objective::Energy)
+        .constraint(ConstraintKind::Power, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    println!("power budget (IoT): {:.3} mW", problem.budget());
+
+    let r = run_rl_search(
+        &problem,
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: 300 },
+        2024,
+    );
+    match &r.best {
+        Some(best) => {
+            println!(
+                "\noptimized energy: {:.4e} nJ ({:.1}% of power budget)",
+                best.cost,
+                100.0 * best.budget_utilization(problem.budget())
+            );
+            for (i, la) in best.layers.iter().enumerate() {
+                println!(
+                    "  {:<12} {:>3} PEs, tile {:>2}",
+                    problem.model().layers()[i].name(),
+                    la.point.num_pes(),
+                    la.point.tile()
+                );
+            }
+        }
+        None => println!("no feasible assignment found"),
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Compare the three dataflow styles on individual layers and end-to-end:
+//! NVDLA-style wins on channel-heavy late layers and GEMMs, Eyeriss-/
+//! ShiDianNao-style win on large-activation early layers and DWCONV —
+//! the observation behind the paper's MIX strategy (§IV-D).
+//!
+//! ```sh
+//! cargo run --release --example dataflow_comparison
+//! ```
+
+use maestro::{CostModel, Dataflow, DesignPoint};
+
+fn main() {
+    let model = dnn_models::mobilenet_v2();
+    let cost_model = CostModel::default();
+    let point = DesignPoint::new(64, 4).expect("valid design point");
+
+    println!("per-layer latency (cycles) at {point}:\n");
+    println!("{:<22} {:>12} {:>12} {:>12}  winner", "layer", "dla", "eye", "shi");
+    let interesting = [0usize, 3, 11, 22, 33, 50, 51];
+    for &i in &interesting {
+        let layer = &model.layers()[i];
+        let lat: Vec<f64> = Dataflow::ALL
+            .iter()
+            .map(|df| cost_model.evaluate(layer, *df, point).latency_cycles)
+            .collect();
+        let winner = Dataflow::ALL
+            .iter()
+            .zip(&lat)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(df, _)| df.short_name())
+            .expect("three dataflows");
+        println!(
+            "{:<22} {:>12.3e} {:>12.3e} {:>12.3e}  {winner}",
+            format!("{} ({})", layer.name(), layer.kind().tag()),
+            lat[0],
+            lat[1],
+            lat[2]
+        );
+    }
+
+    println!("\nend-to-end latency and energy per dataflow:");
+    for df in Dataflow::ALL {
+        let (mut lat, mut en) = (0.0, 0.0);
+        for layer in &model {
+            let r = cost_model.evaluate(layer, df, point);
+            lat += r.latency_cycles;
+            en += r.energy_nj;
+        }
+        println!("  {:<18} {lat:.4e} cycles, {en:.4e} nJ", df.to_string());
+    }
+}

@@ -1,0 +1,69 @@
+//! Dataflow–hardware co-automation (the paper's MIX strategy, §IV-D): let
+//! the agent choose a dataflow style per layer as a third action, and
+//! compare against the best fixed-dataflow search.
+//!
+//! ```sh
+//! cargo run --release --example joint_search
+//! ```
+
+use confuciux::{
+    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
+    PlatformClass, SearchBudget,
+};
+use maestro::Dataflow;
+
+fn main() {
+    let budget = SearchBudget { epochs: 400 };
+    let model = dnn_models::tiny_cnn();
+
+    println!("fixed-dataflow searches (tiny CNN, IoT area, LP):");
+    let mut best_fixed: Option<(f64, Dataflow)> = None;
+    for df in Dataflow::ALL {
+        let problem = HwProblem::builder(model.clone())
+            .dataflow(df)
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, PlatformClass::Iot)
+            .deployment(Deployment::LayerPipelined)
+            .build();
+        let r = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, 13);
+        match r.best_cost() {
+            Some(c) => {
+                println!("  Con'X-{:<4} {c:.4e} cycles", df.short_name());
+                if best_fixed.map_or(true, |(b, _)| c < b) {
+                    best_fixed = Some((c, df));
+                }
+            }
+            None => println!("  Con'X-{:<4} NAN", df.short_name()),
+        }
+    }
+
+    let mix_problem = HwProblem::builder(model)
+        .mix_dataflow()
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let mix = run_rl_search(&mix_problem, AlgorithmKind::Reinforce, budget, 13);
+    match &mix.best {
+        Some(best) => {
+            println!("\nCon'X-MIX  {:.4e} cycles", best.cost);
+            let styles: String = best
+                .layers
+                .iter()
+                .map(|l| l.dataflow.letter())
+                .collect::<Vec<char>>()
+                .iter()
+                .collect();
+            println!("per-layer dataflow choice: {styles}");
+            if let Some((fixed_cost, fixed_df)) = best_fixed {
+                println!(
+                    "best fixed ({}) vs MIX: {:.4e} vs {:.4e}",
+                    fixed_df.short_name(),
+                    fixed_cost,
+                    best.cost
+                );
+            }
+        }
+        None => println!("\nCon'X-MIX found no feasible assignment"),
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's motivating scenario: deploy MobileNet-V2 on a tight IoT
+//! power budget (Table II's IoT class; pass more epochs for the razor-thin
+//! IoTx class), layer-pipelined, and compare what classical search and
+//! ConfuciuX each find.
+//!
+//! ```sh
+//! cargo run --release --example mobilenet_edge
+//! ```
+
+use confuciux::{
+    run_baseline, run_rl_search, AlgorithmKind, BaselineKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget,
+};
+use maestro::Dataflow;
+
+fn main() {
+    let problem = HwProblem::builder(dnn_models::mobilenet_v2())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Power, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    println!(
+        "MobileNet-V2, LP deployment, power budget (IoT): {:.2} mW\n",
+        problem.budget()
+    );
+    let budget = SearchBudget { epochs: 300 };
+
+    for kind in [BaselineKind::Random, BaselineKind::Genetic] {
+        let r = run_baseline(&problem, kind, budget, 7);
+        match r.best_cost() {
+            Some(c) => println!("{:<12} {c:.4e} cycles", r.algorithm),
+            None => println!("{:<12} NAN (never satisfied the power budget)", r.algorithm),
+        }
+    }
+    let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, 7);
+    match &conx.best {
+        Some(best) => {
+            println!(
+                "{:<12} {:.4e} cycles ({:.1}% of power budget, converged @ epoch {:?})",
+                conx.algorithm,
+                best.cost,
+                100.0 * best.budget_utilization(problem.budget()),
+                conx.epochs_to_converge
+            );
+            // Show how the agent splits the budget across layer kinds.
+            let model = problem.model();
+            let mut dw = Vec::new();
+            let mut conv = Vec::new();
+            for (i, la) in best.layers.iter().enumerate() {
+                match model.layers()[i].kind() {
+                    maestro::LayerKind::DepthwiseConv2d => dw.push(la.point.num_pes()),
+                    _ => conv.push(la.point.num_pes()),
+                }
+            }
+            let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+            println!(
+                "\naverage PEs: DWCONV layers {:.1}, CONV layers {:.1} \
+                 (the agent starves depth-wise layers, as in Fig. 10)",
+                avg(&dw),
+                avg(&conv)
+            );
+        }
+        None => println!("{:<12} NAN", conx.algorithm),
+    }
+}

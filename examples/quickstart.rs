@@ -1,0 +1,66 @@
+//! Quickstart: find an optimized HW resource assignment for a small CNN on
+//! an IoT-class area budget, using the full two-stage ConfuciuX pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use confuciux::{
+    two_stage_search, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+    TwoStageConfig,
+};
+use maestro::Dataflow;
+
+fn main() {
+    // 1. Describe the problem: model, dataflow, objective, constraint.
+    let problem = HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    println!(
+        "model: {} ({} layers, {:.2e} MACs)",
+        problem.model().name(),
+        problem.model().len(),
+        problem.model().total_macs()
+    );
+    println!("area budget (IoT): {:.3e} um2\n", problem.budget());
+
+    // 2. Run ConfuciuX: REINFORCE global search + local-GA fine-tuning.
+    let config = TwoStageConfig {
+        global_epochs: 300,
+        fine_evaluations: 600,
+        ..TwoStageConfig::default()
+    };
+    let result = two_stage_search(&problem, &config, 42);
+
+    // 3. Inspect the result.
+    match &result.global.best {
+        Some(coarse) => {
+            println!(
+                "global search : {:.4e} cycles (first valid {:.4e}), {:.1}% of budget",
+                coarse.cost,
+                result.global.initial_valid_cost.unwrap_or(f64::NAN),
+                100.0 * coarse.budget_utilization(problem.budget())
+            );
+        }
+        None => {
+            println!("global search found no feasible assignment");
+            return;
+        }
+    }
+    if let Some(fine) = result.fine.as_ref().and_then(|f| f.best.as_ref()) {
+        println!("fine-tuned    : {:.4e} cycles", fine.cost);
+        println!("\nper-layer assignment:");
+        for (i, la) in fine.layers.iter().enumerate() {
+            println!(
+                "  layer {:>2} ({:<6}): {:>3} PEs, tile {:>3}",
+                i,
+                problem.model().layers()[i].kind().tag(),
+                la.point.num_pes(),
+                la.point.tile()
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests of the cost model against the model zoo:
+//! the qualitative properties the paper's evaluation relies on.
+
+use maestro::{CostModel, Dataflow, DesignPoint, LayerKind};
+
+fn dp(p: u64, kt: u64) -> DesignPoint {
+    DesignPoint::new(p, kt).expect("valid design point")
+}
+
+#[test]
+fn every_zoo_layer_evaluates_physically_under_every_dataflow() {
+    let cost_model = CostModel::default();
+    for model in dnn_models::all_models() {
+        for layer in &model {
+            for df in Dataflow::ALL {
+                for point in [dp(1, 1), dp(16, 3), dp(128, 12), dp(1024, 12)] {
+                    let r = cost_model.evaluate(layer, df, point);
+                    assert!(
+                        r.is_physical(),
+                        "{}/{} {df} {point}",
+                        model.name(),
+                        layer.name()
+                    );
+                    assert!(r.latency_cycles >= 1.0);
+                    assert!(r.energy_nj > 0.0);
+                    assert!(r.area_um2 > 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mobilenet_single_pe_latency_tracks_total_macs() {
+    // At one PE and one MAC per cycle, compute cycles ≈ total MACs; the
+    // roofline can only add stalls on top.
+    let cost_model = CostModel::default();
+    let model = dnn_models::mobilenet_v2();
+    let total: f64 = model
+        .layers()
+        .iter()
+        .map(|l| {
+            cost_model
+                .evaluate(l, Dataflow::NvdlaStyle, dp(1, 1))
+                .compute_cycles
+        })
+        .sum();
+    let macs = model.total_macs();
+    assert!(total >= macs, "compute cycles {total:.3e} < MACs {macs:.3e}");
+    assert!(total <= macs * 1.5, "rounding waste exploded: {total:.3e}");
+}
+
+#[test]
+fn parallelism_speeds_up_every_zoo_model() {
+    let cost_model = CostModel::default();
+    for model in dnn_models::all_models() {
+        for df in Dataflow::ALL {
+            let lat = |p: u64| -> f64 {
+                model
+                    .layers()
+                    .iter()
+                    .map(|l| cost_model.evaluate(l, df, dp(p, 4)).latency_cycles)
+                    .sum()
+            };
+            let l1 = lat(1);
+            let l64 = lat(64);
+            assert!(
+                l64 < l1 * 0.6,
+                "{} {df}: 64 PEs only improved {l1:.3e} -> {l64:.3e}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dwconv_layers_prefer_spatial_dataflows_at_scale() {
+    // The paper's DWCONV observation: channel-parallel NVDLA-style cannot
+    // exploit large arrays on depth-wise layers, spatial dataflows can.
+    let cost_model = CostModel::default();
+    let model = dnn_models::mobilenet_v2();
+    let mut dla_wins = 0usize;
+    let mut spatial_wins = 0usize;
+    for idx in model.layer_indices_of_kind(LayerKind::DepthwiseConv2d) {
+        let layer = &model.layers()[idx];
+        let dla = cost_model
+            .evaluate(layer, Dataflow::NvdlaStyle, dp(128, 12))
+            .latency_cycles;
+        let shi = cost_model
+            .evaluate(layer, Dataflow::ShiDianNaoStyle, dp(128, 12))
+            .latency_cycles;
+        if dla < shi {
+            dla_wins += 1;
+        } else {
+            spatial_wins += 1;
+        }
+    }
+    assert!(
+        spatial_wins > dla_wins,
+        "spatial dataflow should win most DWCONV layers: {spatial_wins} vs {dla_wins}"
+    );
+}
+
+#[test]
+fn narrow_gemms_prefer_channel_parallel_dataflow() {
+    // Eyeriss-/ShiDianNao-style parallelize output rows; a GEMM with a
+    // single output column (batch-1 classifier) strands them, while
+    // NVDLA-style still parallelizes K and the reduction.
+    let cost_model = CostModel::default();
+    let layer = maestro::Layer::gemm("classifier", 512, 1, 1024).unwrap();
+    let dla = cost_model
+        .evaluate(&layer, Dataflow::NvdlaStyle, dp(64, 4))
+        .latency_cycles;
+    let eye = cost_model
+        .evaluate(&layer, Dataflow::EyerissStyle, dp(64, 4))
+        .latency_cycles;
+    assert!(dla < eye, "dla {dla:.3e} should beat eye {eye:.3e} at N=1");
+    // Wide-token GEMM stacks (GNMT) give every dataflow enough
+    // parallelism; all three must at least scale with the array.
+    let model = dnn_models::gnmt();
+    for df in Dataflow::ALL {
+        let lat = |p: u64| -> f64 {
+            model
+                .layers()
+                .iter()
+                .map(|l| cost_model.evaluate(l, df, dp(p, 4)).latency_cycles)
+                .sum()
+        };
+        assert!(lat(64) < lat(1) * 0.2, "{df} fails to scale on GNMT");
+    }
+}
+
+#[test]
+fn energy_decreases_with_bigger_tiles_on_conv_layers() {
+    // Bigger filter tiles cut NVDLA input refetch traffic (more temporal
+    // reuse), which is the buffer/energy trade-off the search exploits.
+    let cost_model = CostModel::default();
+    let model = dnn_models::resnet50();
+    let mid = &model.layers()[20];
+    let small = cost_model.evaluate(mid, Dataflow::NvdlaStyle, dp(32, 1));
+    let big = cost_model.evaluate(mid, Dataflow::NvdlaStyle, dp(32, 12));
+    assert!(
+        big.energy.dram_nj < small.energy.dram_nj,
+        "DRAM energy should fall with tile size: {:.3e} vs {:.3e}",
+        big.energy.dram_nj,
+        small.energy.dram_nj
+    );
+}
+
+#[test]
+fn area_is_monotone_in_both_knobs_across_zoo() {
+    let cost_model = CostModel::default();
+    for model in dnn_models::all_models() {
+        let layer = &model.layers()[0];
+        for df in Dataflow::ALL {
+            let base = cost_model.evaluate(layer, df, dp(8, 2)).area_um2;
+            assert!(cost_model.evaluate(layer, df, dp(16, 2)).area_um2 > base);
+            assert!(cost_model.evaluate(layer, df, dp(8, 8)).area_um2 > base);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests of the RL stack against the real HW environment: all
+//! seven algorithms must interoperate with `HwEnv` and produce well-formed
+//! results.
+
+use confuciux::{
+    make_agent, AlgorithmKind, ConstraintKind, Deployment, HwEnv, HwProblem, Objective,
+    PlatformClass, RewardConfig,
+};
+use rl_core::Env;
+use tinynn::{Rng, SeedableRng};
+
+fn tiny_problem() -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+#[test]
+fn all_seven_algorithms_train_on_the_hw_env() {
+    let problem = tiny_problem();
+    for kind in AlgorithmKind::TABLE5 {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut env = HwEnv::new(&problem);
+        let mut agent = make_agent(kind, &env, &mut rng);
+        let mut feasible = 0usize;
+        for _ in 0..40 {
+            let report = agent.train_epoch(&mut env, &mut rng);
+            assert!(report.steps >= 1 && report.steps <= problem.model().len());
+            assert!(report.episode_reward.is_finite());
+            if report.feasible_cost.is_some() {
+                feasible += 1;
+            }
+        }
+        assert!(
+            feasible > 0,
+            "{} never completed a feasible episode in 40 epochs",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn param_counts_rank_agents_like_the_paper() {
+    // Table V's memory column: the off-policy continuous agents (target
+    // networks, twin critics) are heavier than REINFORCE.
+    let problem = tiny_problem();
+    let mut rng = Rng::seed_from_u64(23);
+    let env = HwEnv::new(&problem);
+    let count = |kind: AlgorithmKind, rng: &mut Rng| make_agent(kind, &env, rng).param_count();
+    let reinforce = count(AlgorithmKind::Reinforce, &mut rng);
+    let ddpg = count(AlgorithmKind::Ddpg, &mut rng);
+    let sac = count(AlgorithmKind::Sac, &mut rng);
+    let td3 = count(AlgorithmKind::Td3, &mut rng);
+    assert!(reinforce > 0);
+    for (name, heavy) in [("DDPG", ddpg), ("SAC", sac), ("TD3", td3)] {
+        assert!(heavy > 0, "{name} has parameters");
+    }
+    // A2C/PPO add a critic on top of the same policy.
+    let a2c = count(AlgorithmKind::A2c, &mut rng);
+    assert!(a2c > reinforce, "A2C = policy + critic");
+}
+
+#[test]
+fn episodes_standardize_to_fixed_horizon_when_feasible() {
+    let problem = HwProblem::builder(dnn_models::tiny_cnn())
+        .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+        .build();
+    let mut env = HwEnv::new(&problem);
+    let mut rng = Rng::seed_from_u64(31);
+    let mut agent = make_agent(AlgorithmKind::Reinforce, &env, &mut rng);
+    for _ in 0..10 {
+        let report = agent.train_epoch(&mut env, &mut rng);
+        // Unlimited budget: every episode runs the full horizon.
+        assert_eq!(report.steps, problem.model().len());
+        assert!(report.feasible_cost.is_some());
+    }
+}
+
+#[test]
+fn reward_ablation_changes_shaping_but_not_interface() {
+    let problem = tiny_problem();
+    for cfg in [
+        RewardConfig::default(),
+        RewardConfig {
+            use_pmin_baseline: false,
+            ..RewardConfig::default()
+        },
+        RewardConfig {
+            accumulated_penalty: false,
+            constant_penalty: -5.0,
+            ..RewardConfig::default()
+        },
+    ] {
+        let mut env = HwEnv::with_reward(&problem, cfg);
+        let obs = env.reset();
+        assert_eq!(obs.len(), env.obs_dim());
+        let step = env.step(&[0, 0]);
+        assert!(step.reward.is_finite());
+    }
+}

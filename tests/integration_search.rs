@@ -1,0 +1,106 @@
+//! End-to-end search integration tests: the headline qualitative claims of
+//! the paper, verified on reduced budgets.
+
+use confuciux::{
+    run_baseline, run_rl_search, AlgorithmKind, BaselineKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget,
+};
+use maestro::Dataflow;
+
+fn mobilenet_problem(platform: PlatformClass) -> HwProblem {
+    HwProblem::builder(dnn_models::mobilenet_v2())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, platform)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+/// Table IV's central qualitative result: under the tight IoT budget,
+/// random search and the generic GA fail to find feasible solutions while
+/// Con'X (global) learns the constraint.
+#[test]
+fn conx_finds_feasible_iot_solutions_where_random_and_ga_fail() {
+    let problem = mobilenet_problem(PlatformClass::Iot);
+    let budget = SearchBudget { epochs: 150 };
+    let random = run_baseline(&problem, BaselineKind::Random, budget, 1);
+    let ga = run_baseline(&problem, BaselineKind::Genetic, budget, 1);
+    let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, 1);
+    assert!(conx.best.is_some(), "Con'X must satisfy the IoT budget");
+    // With a 12^104 space and 0.1*C_max budget, blind methods almost
+    // surely see only violations at this budget (the paper prints NAN).
+    assert!(
+        random.best.is_none() && ga.best.is_none(),
+        "blind baselines unexpectedly found feasible points: random {:?}, ga {:?}",
+        random.best_cost(),
+        ga.best_cost()
+    );
+}
+
+/// The REINFORCE agent improves over its first feasible solution — the
+/// "global search" improvement column of Table VII.
+#[test]
+fn conx_improves_over_initial_valid_value() {
+    let problem = mobilenet_problem(PlatformClass::Iot);
+    let r = run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 400 }, 3);
+    let init = r.initial_valid_cost.expect("finds a first valid value");
+    let best = r.best_cost().expect("keeps a best value");
+    assert!(
+        best < init * 0.8,
+        "expected >20% improvement over the initial valid value: {init:.3e} -> {best:.3e}"
+    );
+}
+
+/// Feasible solutions respect the budget exactly, and traces are monotone
+/// non-increasing (best-so-far).
+#[test]
+fn traces_are_monotone_and_solutions_feasible() {
+    let problem = mobilenet_problem(PlatformClass::Cloud);
+    for result in [
+        run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 100 }, 5),
+        run_baseline(&problem, BaselineKind::Random, SearchBudget { epochs: 100 }, 5),
+        run_baseline(&problem, BaselineKind::SimulatedAnnealing, SearchBudget { epochs: 100 }, 5),
+    ] {
+        for w in result.trace.windows(2) {
+            assert!(w[1] <= w[0], "best-so-far must not regress");
+        }
+        if let Some(best) = &result.best {
+            assert!(best.constraint_used <= problem.budget());
+            assert_eq!(best.layers.len(), problem.model().len());
+        }
+    }
+}
+
+/// LS deployment end-to-end: loose budgets admit uniform configurations
+/// and the search picks a sensible one.
+#[test]
+fn ls_search_returns_single_uniform_config() {
+    let problem = HwProblem::builder(dnn_models::mnasnet())
+        .dataflow(Dataflow::EyerissStyle)
+        .objective(Objective::Energy)
+        .constraint(ConstraintKind::Area, PlatformClass::Cloud)
+        .deployment(Deployment::LayerSequential)
+        .build();
+    let r = run_baseline(&problem, BaselineKind::Random, SearchBudget { epochs: 144 }, 9);
+    let best = r.best.expect("cloud LS is feasible");
+    assert_eq!(best.layers.len(), 1);
+    // Re-evaluating the config must reproduce the recorded cost.
+    let again = problem
+        .evaluate_ls(best.layers[0].dataflow, best.layers[0].point)
+        .expect("still feasible");
+    assert!((again.cost - best.cost).abs() < 1e-6 * best.cost.max(1.0));
+}
+
+/// GEMM-based models run through the same pipeline.
+#[test]
+fn gemm_model_search_works() {
+    let problem = HwProblem::builder(dnn_models::ncf())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let r = run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 150 }, 11);
+    let best = r.best.expect("NCF IoT is solvable");
+    assert_eq!(best.layers.len(), 5);
+}

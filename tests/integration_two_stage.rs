@@ -1,0 +1,91 @@
+//! Integration tests of the two-stage pipeline (Fig. 3 / Table VII): the
+//! local-GA fine-tuner must strictly respect feasibility and never regress
+//! the global stage's solution.
+
+use confuciux::{
+    fine_tune, run_rl_search, two_stage_search, AlgorithmKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget, TwoStageConfig,
+};
+use maestro::Dataflow;
+
+fn problem(model: &str, platform: PlatformClass) -> HwProblem {
+    HwProblem::builder(dnn_models::by_name(model).expect("known model"))
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, platform)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+#[test]
+fn two_stage_improves_or_preserves_on_mobilenet() {
+    let p = problem("MbnetV2", PlatformClass::Iot);
+    let cfg = TwoStageConfig {
+        global_epochs: 200,
+        fine_evaluations: 400,
+        ..TwoStageConfig::default()
+    };
+    let r = two_stage_search(&p, &cfg, 77);
+    let global_best = r.global.best_cost().expect("global stage succeeds");
+    let final_best = r.final_cost().expect("final cost exists");
+    assert!(final_best <= global_best + 1e-9);
+    if let Some(fine) = &r.fine {
+        if let Some(best) = &fine.best {
+            assert!(best.constraint_used <= p.budget());
+            // Fine-grained values may leave the coarse menus, but must stay
+            // within the fine bounds.
+            for la in &best.layers {
+                assert!(la.point.num_pes() >= 1 && la.point.num_pes() <= 128);
+                assert!(la.point.tile() >= 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn fine_tune_on_gemm_model_respects_budget() {
+    let p = problem("NCF", PlatformClass::Iot);
+    let global = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 200 }, 5);
+    let coarse = global.best.expect("NCF IoT solvable");
+    let fine = fine_tune(&p, &coarse, 500, 6);
+    let best = fine.best.expect("fine stage keeps a feasible best");
+    assert!(best.cost <= coarse.cost + 1e-9);
+    assert!(best.constraint_used <= p.budget());
+    assert_eq!(fine.trace.len(), fine.evaluations);
+}
+
+#[test]
+fn fine_stage_trace_is_monotone() {
+    let p = problem("tiny_cnn", PlatformClass::Iot);
+    let global = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 60 }, 8);
+    let coarse = global.best.expect("tiny CNN solvable");
+    let fine = fine_tune(&p, &coarse, 300, 9);
+    for w in fine.trace.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+}
+
+#[test]
+fn mix_two_stage_keeps_per_layer_dataflows() {
+    let p = HwProblem::builder(dnn_models::tiny_cnn())
+        .mix_dataflow()
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let cfg = TwoStageConfig {
+        global_epochs: 120,
+        fine_evaluations: 200,
+        ..TwoStageConfig::default()
+    };
+    let r = two_stage_search(&p, &cfg, 99);
+    if let (Some(coarse), Some(fine)) = (
+        &r.global.best,
+        r.fine.as_ref().and_then(|f| f.best.as_ref()),
+    ) {
+        // Fine-tuning only adjusts PEs/tiles; dataflows are stage-1's.
+        for (c, f) in coarse.layers.iter().zip(&fine.layers) {
+            assert_eq!(c.dataflow, f.dataflow);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of cross-crate invariants: whatever the search
+//! samples, the cost model and problem evaluation must stay physical and
+//! consistent.
+
+use confuciux::{
+    ConstraintKind, Deployment, HwEnv, HwProblem, LayerAssignment, Objective, PlatformClass,
+};
+use maestro::{CostModel, Dataflow, DesignPoint, Layer};
+use proptest::prelude::*;
+use rl_core::Env;
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (1u64..256, 1u64..256, 6u64..64, 1u64..4, 1u64..3).prop_map(|(k, c, hw, r2, s)| {
+            let r = 2 * r2 - 1; // odd filters 1/3/5/7
+            Layer::conv2d("p", k, c, hw + r - 1, hw + r - 1, r, r, s).expect("valid by construction")
+        }),
+        (1u64..256, 6u64..64, 1u64..3).prop_map(|(ch, hw, s)| {
+            Layer::depthwise("p", ch, hw + 2, hw + 2, 3, 3, s).expect("valid by construction")
+        }),
+        (1u64..512, 1u64..512, 1u64..512).prop_map(|(m, n, k)| {
+            Layer::gemm("p", m, n, k).expect("valid by construction")
+        }),
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = DesignPoint> {
+    (1u64..2048, 1u64..256).prop_map(|(p, t)| DesignPoint::new(p, t).expect("positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any layer × dataflow × design point yields a physical report, and
+    /// evaluation is deterministic.
+    #[test]
+    fn cost_model_is_physical_and_deterministic(
+        layer in arb_layer(),
+        point in arb_point(),
+        df_idx in 0usize..3,
+    ) {
+        let df = Dataflow::from_index(df_idx).expect("index < 3");
+        let model = CostModel::default();
+        let a = model.evaluate(&layer, df, point);
+        let b = model.evaluate(&layer, df, point);
+        prop_assert!(a.is_physical(), "{a:?}");
+        prop_assert_eq!(&a, &b);
+        // Compute cycles never beat the parallelism bound.
+        prop_assert!(a.compute_cycles * point.num_pes() as f64 >= layer.macs() * 0.99);
+        // Energy breakdown sums to the total.
+        prop_assert!((a.energy.total_nj() - a.energy_nj).abs() <= 1e-6 * a.energy_nj.max(1.0));
+        prop_assert!((a.area.total_um2() - a.area_um2).abs() <= 1e-6 * a.area_um2);
+    }
+
+    /// Feasible LP evaluations respect the budget; the objective equals the
+    /// sum of per-layer objectives.
+    #[test]
+    fn lp_evaluation_is_consistent(
+        seed_levels in proptest::collection::vec((0usize..12, 0usize..12), 6),
+    ) {
+        let problem = HwProblem::builder(dnn_models::tiny_cnn())
+            .dataflow(Dataflow::NvdlaStyle)
+            .objective(Objective::Latency)
+            .constraint(ConstraintKind::Area, PlatformClass::Iot)
+            .deployment(Deployment::LayerPipelined)
+            .build();
+        let space = problem.actions();
+        let layers: Vec<LayerAssignment> = seed_levels
+            .iter()
+            .map(|&(p, b)| LayerAssignment {
+                dataflow: Dataflow::NvdlaStyle,
+                point: DesignPoint::new(space.pe(p), space.tile(b)).expect("positive"),
+            })
+            .collect();
+        if let Some(assignment) = problem.evaluate_lp(&layers) {
+            prop_assert!(assignment.constraint_used <= problem.budget());
+            let sum: f64 = (0..layers.len())
+                .map(|i| problem.layer_cost(i, layers[i]))
+                .sum();
+            prop_assert!((assignment.cost - sum).abs() <= 1e-9 * sum.max(1.0));
+        } else {
+            // Infeasible: the total constraint really exceeds the budget.
+            let total: f64 = (0..layers.len())
+                .map(|i| problem.layer_constraint(i, layers[i]))
+                .sum();
+            prop_assert!(total > problem.budget());
+        }
+    }
+
+    /// Random environment walks never exceed the horizon, produce finite
+    /// rewards, and report an outcome cost matching a re-evaluation.
+    #[test]
+    fn env_episodes_are_well_formed(
+        actions in proptest::collection::vec((0usize..12, 0usize..12), 6),
+    ) {
+        let problem = HwProblem::builder(dnn_models::tiny_cnn())
+            .dataflow(Dataflow::NvdlaStyle)
+            .objective(Objective::Energy)
+            .constraint(ConstraintKind::Area, PlatformClass::Iot)
+            .deployment(Deployment::LayerPipelined)
+            .build();
+        let mut env = HwEnv::new(&problem);
+        let obs = env.reset();
+        prop_assert_eq!(obs.len(), env.obs_dim());
+        let mut taken = Vec::new();
+        let mut steps = 0;
+        for &(p, b) in &actions {
+            let result = env.step(&[p, b]);
+            taken.push((p, b));
+            steps += 1;
+            prop_assert!(result.reward.is_finite());
+            prop_assert!(result.obs.iter().all(|v| v.is_finite()));
+            if result.done {
+                break;
+            }
+        }
+        prop_assert!(steps <= env.horizon());
+        if let Some(cost) = env.outcome_cost() {
+            // Completed feasibly: re-evaluating the same actions agrees.
+            let space = problem.actions();
+            let layers: Vec<LayerAssignment> = taken
+                .iter()
+                .map(|&(p, b)| LayerAssignment {
+                    dataflow: Dataflow::NvdlaStyle,
+                    point: DesignPoint::new(space.pe(p), space.tile(b)).expect("positive"),
+                })
+                .collect();
+            let again = problem.evaluate_lp(&layers).expect("was feasible");
+            prop_assert!((again.cost - cost).abs() <= 1e-9 * cost.max(1.0));
+        }
+    }
+
+    /// The LS constraint is the max over layers, never the sum.
+    #[test]
+    fn ls_constraint_is_worst_layer(p_lvl in 0usize..12, b_lvl in 0usize..12) {
+        let problem = HwProblem::builder(dnn_models::tiny_cnn())
+            .dataflow(Dataflow::EyerissStyle)
+            .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+            .deployment(Deployment::LayerSequential)
+            .build();
+        let space = problem.actions();
+        let point = DesignPoint::new(space.pe(p_lvl), space.tile(b_lvl)).expect("positive");
+        let assignment = problem
+            .evaluate_ls(Dataflow::EyerissStyle, point)
+            .expect("unlimited budget");
+        let per_layer_max = (0..problem.model().len())
+            .map(|i| {
+                problem.layer_constraint(
+                    i,
+                    LayerAssignment {
+                        dataflow: Dataflow::EyerissStyle,
+                        point,
+                    },
+                )
+            })
+            .fold(0.0, f64::max);
+        prop_assert!((assignment.constraint_used - per_layer_max).abs() < 1e-9);
+    }
+
+    /// Design-space size is monotone in every argument (stars-and-bars).
+    #[test]
+    fn design_space_size_is_monotone(
+        pes in 64u64..512,
+        bufs in 64u64..512,
+        layers in 5u64..30,
+    ) {
+        use confuciux::log10_lp_design_space as f;
+        prop_assert!(f(pes + 32, bufs, layers) >= f(pes, bufs, layers));
+        prop_assert!(f(pes, bufs + 32, layers) >= f(pes, bufs, layers));
+        prop_assert!(f(pes, bufs, layers + 1) >= f(pes, bufs, layers) - 1e-9);
+    }
+}
