@@ -9,8 +9,14 @@ use std::hint::black_box;
 fn bench_evaluate(c: &mut Criterion) {
     let model = CostModel::default();
     let layers = [
-        ("conv3x3", Layer::conv2d("conv", 128, 64, 28, 28, 3, 3, 1).unwrap()),
-        ("dwconv", Layer::depthwise("dw", 192, 28, 28, 3, 3, 1).unwrap()),
+        (
+            "conv3x3",
+            Layer::conv2d("conv", 128, 64, 28, 28, 3, 3, 1).unwrap(),
+        ),
+        (
+            "dwconv",
+            Layer::depthwise("dw", 192, 28, 28, 3, 3, 1).unwrap(),
+        ),
         ("gemm", Layer::gemm("fc", 1024, 128, 2048).unwrap()),
     ];
     let point = DesignPoint::new(32, 4).unwrap();

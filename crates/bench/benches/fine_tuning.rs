@@ -2,8 +2,8 @@
 //! second on the fine-grained MobileNet-V2 space.
 
 use confuciux::{
-    fine_tune, run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
-    Objective, PlatformClass, SearchBudget,
+    fine_tune, run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
+    PlatformClass, SearchBudget,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use maestro::Dataflow;
@@ -15,9 +15,14 @@ fn bench_fine_tune(c: &mut Criterion) {
         .constraint(ConstraintKind::Area, PlatformClass::Iot)
         .deployment(Deployment::LayerPipelined)
         .build();
-    let coarse = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 100 }, 7)
-        .best
-        .expect("feasible coarse solution for the bench seed");
+    let coarse = run_rl_search(
+        &p,
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: 100 },
+        7,
+    )
+    .best
+    .expect("feasible coarse solution for the bench seed");
     let mut group = c.benchmark_group("fine_tuning");
     group.sample_size(10);
     group.bench_function("local_ga_200_evals", |b| {

@@ -93,10 +93,7 @@ fn main() {
         let dw_avg = avg_pes(&per_layer, "DWCONV");
         let conv_avg = avg_pes(&per_layer, "CONV2D");
         if dw_avg > 0.0 && conv_avg > 0.0 {
-            println!(
-                "avg PEs: DWCONV {:.1} vs CONV2D {:.1}",
-                dw_avg, conv_avg
-            );
+            println!("avg PEs: DWCONV {:.1} vs CONV2D {:.1}", dw_avg, conv_avg);
         }
         out.push(Breakdown {
             model: model_name.to_string(),

@@ -26,7 +26,9 @@ fn main() {
     let cost_model = CostModel::default();
     // Paper layer numbering is 1-based.
     let layer_ids = [12usize, 34, 23];
-    let tiles: Vec<u64> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 200, 400, 800];
+    let tiles: Vec<u64> = vec![
+        1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 200, 400, 800,
+    ];
     let mut all: Vec<(String, Vec<Point>)> = Vec::new();
     let mut table = ExperimentTable::new(
         "Fig. 4 — design-space spread per layer (NVDLA-style, PE 1..64, filters 1..800)",

@@ -10,8 +10,7 @@
 
 use confuciux::{
     format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
-    ConstraintKind, Deployment, ExperimentTable, HwProblem, Objective, PlatformClass,
-    SearchBudget,
+    ConstraintKind, Deployment, ExperimentTable, HwProblem, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
 use maestro::{Dataflow, DesignPoint};
@@ -41,7 +40,14 @@ fn main() {
     let mut grids = Vec::new();
     let mut per_layer = ExperimentTable::new(
         "Fig. 5 — per-layer optimal action pairs (exhaustive over the 12x12 grid)",
-        &["Layer", "Kind", "Best (PE lvl, Buf lvl) latency", "Latency (cy.)", "Best (PE lvl, Buf lvl) energy", "Energy (nJ)"],
+        &[
+            "Layer",
+            "Kind",
+            "Best (PE lvl, Buf lvl) latency",
+            "Latency (cy.)",
+            "Best (PE lvl, Buf lvl) energy",
+            "Energy (nJ)",
+        ],
     );
     for lid in [12usize, 34, 23] {
         let li = lid - 1;

@@ -4,8 +4,8 @@
 //! MobileNet-V2).
 
 use confuciux::{
-    critic_study, write_json, ConstraintKind, CriticStudyConfig, Deployment, HwProblem,
-    Objective, PlatformClass,
+    critic_study, write_json, ConstraintKind, CriticStudyConfig, Deployment, HwProblem, Objective,
+    PlatformClass,
 };
 use confuciux_bench::Args;
 use maestro::Dataflow;
@@ -32,7 +32,12 @@ fn main() {
     let results = critic_study(&problem, &cfg);
     let mut table = confuciux::ExperimentTable::new(
         "Fig. 6 — critic-network learning curves (RMSE in cycles)",
-        &["DataSz", "train RMSE (first)", "train RMSE (final)", "test RMSE (final)"],
+        &[
+            "DataSz",
+            "train RMSE (first)",
+            "train RMSE (final)",
+            "test RMSE (final)",
+        ],
     );
     for r in &results {
         table.push_row(vec![

@@ -36,7 +36,11 @@ fn main() {
             &["Method", "@10%", "@25%", "@50%", "@100%", "epochs-to-conv"],
         );
         let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
-        let mut runs = vec![("Con'X (global)".to_string(), conx.trace, conx.epochs_to_converge)];
+        let mut runs = vec![(
+            "Con'X (global)".to_string(),
+            conx.trace,
+            conx.epochs_to_converge,
+        )];
         for kind in [
             BaselineKind::Random,
             BaselineKind::SimulatedAnnealing,

@@ -3,8 +3,8 @@
 //! PEs/buffer bytes each layer receives.
 
 use confuciux::{
-    run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
-    Objective, PlatformClass, SearchBudget,
+    run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
+    PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
 use serde::Serialize;
@@ -77,7 +77,10 @@ fn main() {
     // layers prefer dla.
     let halves = best.layers.split_at(best.layers.len() / 2);
     let count = |slice: &[confuciux::LayerAssignment], letter: char| {
-        slice.iter().filter(|l| l.dataflow.letter() == letter).count()
+        slice
+            .iter()
+            .filter(|l| l.dataflow.letter() == letter)
+            .count()
     };
     println!(
         "\nearly-half dataflows: D={} E={} S={} | late-half: D={} E={} S={}",

@@ -37,7 +37,11 @@ fn main() {
     let result = two_stage_search(&problem, &cfg, args.seed);
     let trace = TwoStageTrace {
         global: result.global.trace.clone(),
-        fine: result.fine.as_ref().map(|f| f.trace.clone()).unwrap_or_default(),
+        fine: result
+            .fine
+            .as_ref()
+            .map(|f| f.trace.clone())
+            .unwrap_or_default(),
         initial_valid: result.global.initial_valid_cost,
         global_best: result.global.best_cost(),
         final_best: result.final_cost(),
@@ -54,7 +58,11 @@ fn main() {
         (0..8)
             .map(|i| {
                 let idx = (i * (t.len() - 1)) / 7;
-                format_sci(if t[idx].is_finite() { Some(t[idx]) } else { None })
+                format_sci(if t[idx].is_finite() {
+                    Some(t[idx])
+                } else {
+                    None
+                })
             })
             .collect::<Vec<_>>()
             .join("  ")

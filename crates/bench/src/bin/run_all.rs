@@ -31,10 +31,8 @@ fn main() {
         .to_path_buf();
     // table8/table9 are the slowest; they run last so partial results land
     // early.
-    let mut plan: Vec<(String, usize)> = BINARIES
-        .iter()
-        .map(|(n, e)| (n.to_string(), *e))
-        .collect();
+    let mut plan: Vec<(String, usize)> =
+        BINARIES.iter().map(|(n, e)| (n.to_string(), *e)).collect();
     plan.push(("table8_fpga".to_string(), 200));
     plan.push(("table9_policy_ablation".to_string(), 150));
     for (name, default_epochs) in plan {
@@ -56,5 +54,8 @@ fn main() {
         let status = cmd.status().unwrap_or_else(|e| panic!("spawn {name}: {e}"));
         assert!(status.success(), "{name} failed with {status}");
     }
-    println!("\nall experiments complete; results in {}", args.out.display());
+    println!(
+        "\nall experiments complete; results in {}",
+        args.out.display()
+    );
 }

@@ -10,20 +10,60 @@ use confuciux_bench::{standard_problem, Args};
 use maestro::Dataflow;
 
 const ROWS: [(Objective, ConstraintKind, PlatformClass); 14] = [
-    (Objective::Latency, ConstraintKind::Area, PlatformClass::Unlimited),
-    (Objective::Latency, ConstraintKind::Area, PlatformClass::Cloud),
+    (
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Unlimited,
+    ),
+    (
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Cloud,
+    ),
     (Objective::Latency, ConstraintKind::Area, PlatformClass::Iot),
-    (Objective::Latency, ConstraintKind::Area, PlatformClass::IotX),
-    (Objective::Latency, ConstraintKind::Power, PlatformClass::Cloud),
-    (Objective::Latency, ConstraintKind::Power, PlatformClass::Iot),
-    (Objective::Latency, ConstraintKind::Power, PlatformClass::IotX),
-    (Objective::Energy, ConstraintKind::Area, PlatformClass::Unlimited),
-    (Objective::Energy, ConstraintKind::Area, PlatformClass::Cloud),
+    (
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::IotX,
+    ),
+    (
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::Cloud,
+    ),
+    (
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::Iot,
+    ),
+    (
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::IotX,
+    ),
+    (
+        Objective::Energy,
+        ConstraintKind::Area,
+        PlatformClass::Unlimited,
+    ),
+    (
+        Objective::Energy,
+        ConstraintKind::Area,
+        PlatformClass::Cloud,
+    ),
     (Objective::Energy, ConstraintKind::Area, PlatformClass::Iot),
     (Objective::Energy, ConstraintKind::Area, PlatformClass::IotX),
-    (Objective::Energy, ConstraintKind::Power, PlatformClass::Cloud),
+    (
+        Objective::Energy,
+        ConstraintKind::Power,
+        PlatformClass::Cloud,
+    ),
     (Objective::Energy, ConstraintKind::Power, PlatformClass::Iot),
-    (Objective::Energy, ConstraintKind::Power, PlatformClass::IotX),
+    (
+        Objective::Energy,
+        ConstraintKind::Power,
+        PlatformClass::IotX,
+    ),
 ];
 
 fn main() {
@@ -34,7 +74,9 @@ fn main() {
     let rows: Vec<_> = if args.full {
         ROWS.to_vec()
     } else {
-        vec![ROWS[0], ROWS[2], ROWS[3], ROWS[5], ROWS[7], ROWS[9], ROWS[12]]
+        vec![
+            ROWS[0], ROWS[2], ROWS[3], ROWS[5], ROWS[7], ROWS[9], ROWS[12],
+        ]
     };
     let mut table = confuciux::ExperimentTable::new(
         "Table IV — optimizer deep-dive (MobileNet-V2, NVDLA-style, LP)",

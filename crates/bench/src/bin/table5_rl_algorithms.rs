@@ -6,27 +6,97 @@
 //! MnasNet rows of the paper (slow).
 
 use confuciux::{
-    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective,
-    PlatformClass, SearchBudget,
+    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective, PlatformClass,
+    SearchBudget,
 };
 use confuciux_bench::{format_duration, standard_problem, Args};
 use maestro::Dataflow;
 
 const ROWS: [(&str, Objective, ConstraintKind, PlatformClass); 14] = [
-    ("MbnetV2", Objective::Latency, ConstraintKind::Area, PlatformClass::Iot),
-    ("MbnetV2", Objective::Latency, ConstraintKind::Area, PlatformClass::IotX),
-    ("MbnetV2", Objective::Latency, ConstraintKind::Power, PlatformClass::Iot),
-    ("MbnetV2", Objective::Latency, ConstraintKind::Power, PlatformClass::IotX),
-    ("MbnetV2", Objective::Energy, ConstraintKind::Area, PlatformClass::Iot),
-    ("MbnetV2", Objective::Energy, ConstraintKind::Power, PlatformClass::Iot),
-    ("ResNet50", Objective::Latency, ConstraintKind::Area, PlatformClass::Cloud),
-    ("ResNet50", Objective::Latency, ConstraintKind::Power, PlatformClass::Cloud),
-    ("ResNet50", Objective::Energy, ConstraintKind::Area, PlatformClass::Cloud),
-    ("ResNet50", Objective::Energy, ConstraintKind::Power, PlatformClass::Cloud),
-    ("MnasNet", Objective::Latency, ConstraintKind::Area, PlatformClass::Iot),
-    ("MnasNet", Objective::Latency, ConstraintKind::Power, PlatformClass::Iot),
-    ("MnasNet", Objective::Energy, ConstraintKind::Area, PlatformClass::Iot),
-    ("MnasNet", Objective::Energy, ConstraintKind::Power, PlatformClass::Iot),
+    (
+        "MbnetV2",
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    ),
+    (
+        "MbnetV2",
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::IotX,
+    ),
+    (
+        "MbnetV2",
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::Iot,
+    ),
+    (
+        "MbnetV2",
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::IotX,
+    ),
+    (
+        "MbnetV2",
+        Objective::Energy,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    ),
+    (
+        "MbnetV2",
+        Objective::Energy,
+        ConstraintKind::Power,
+        PlatformClass::Iot,
+    ),
+    (
+        "ResNet50",
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Cloud,
+    ),
+    (
+        "ResNet50",
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::Cloud,
+    ),
+    (
+        "ResNet50",
+        Objective::Energy,
+        ConstraintKind::Area,
+        PlatformClass::Cloud,
+    ),
+    (
+        "ResNet50",
+        Objective::Energy,
+        ConstraintKind::Power,
+        PlatformClass::Cloud,
+    ),
+    (
+        "MnasNet",
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    ),
+    (
+        "MnasNet",
+        Objective::Latency,
+        ConstraintKind::Power,
+        PlatformClass::Iot,
+    ),
+    (
+        "MnasNet",
+        Objective::Energy,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    ),
+    (
+        "MnasNet",
+        Objective::Energy,
+        ConstraintKind::Power,
+        PlatformClass::Iot,
+    ),
 ];
 
 fn main() {
@@ -65,7 +135,10 @@ fn main() {
             if params.iter().all(|(n, _)| n != kind.name()) {
                 params.push((kind.name().to_string(), r.param_count));
             }
-            eprintln!("done: {model} {objective} {constraint} {platform} {}", kind.name());
+            eprintln!(
+                "done: {model} {objective} {constraint} {platform} {}",
+                kind.name()
+            );
         }
         table.push_row(cells);
     }

@@ -3,8 +3,8 @@
 //! a third action (§IV-D).
 
 use confuciux::{
-    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment,
-    HwProblem, Objective, PlatformClass, SearchBudget,
+    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
+    Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
 use maestro::Dataflow;

@@ -6,8 +6,8 @@
 //! argument for local operators).
 
 use confuciux::{
-    fine_tune, format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind,
-    Objective, PlatformClass, SearchBudget,
+    fine_tune, format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective,
+    PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
 use maestro::Dataflow;

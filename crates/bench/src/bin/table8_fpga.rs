@@ -8,9 +8,8 @@
 //! the raw totals (PEs, L1 bytes) of each solution, as in the paper.
 
 use confuciux::{
-    fine_tune, format_sci, run_rl_search, write_json, ActionSpace, AlgorithmKind,
-    ConstraintKind, Deployment, HwProblem, LayerAssignment, Objective, PlatformClass,
-    SearchBudget,
+    fine_tune, format_sci, run_rl_search, write_json, ActionSpace, AlgorithmKind, ConstraintKind,
+    Deployment, HwProblem, LayerAssignment, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
 use maestro::{CostModel, Dataflow, DesignPoint};
@@ -88,11 +87,8 @@ fn main() {
         ],
     );
     for device in &DEVICES {
-        let models: Vec<&str> = if device.name.starts_with("Cloud") {
-            vec!["ResNet50", "MbnetV2"]
-        } else {
-            vec!["ResNet50", "MbnetV2"]
-        };
+        // Table VIII evaluates the same two models on every device class.
+        let models: Vec<&str> = vec!["ResNet50", "MbnetV2"];
         for model_name in models {
             let model = dnn_models::by_name(model_name).expect("known model");
             let area_budget = device_area_budget(&model, device);

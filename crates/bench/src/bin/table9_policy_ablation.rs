@@ -7,9 +7,8 @@
 //! baseline and the accumulated vs constant penalty of §III-E).
 
 use confuciux::{
-    format_sci, run_rl_search, run_rl_search_with_reward, write_json, ActionSpace,
-    AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
-    RewardConfig, SearchBudget,
+    format_sci, run_rl_search, run_rl_search_with_reward, write_json, ActionSpace, AlgorithmKind,
+    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass, RewardConfig, SearchBudget,
 };
 use confuciux_bench::Args;
 use maestro::Dataflow;
@@ -42,7 +41,11 @@ fn main() {
             "L=14 used",
         ],
     );
-    for platform in [PlatformClass::Cloud, PlatformClass::Iot, PlatformClass::IotX] {
+    for platform in [
+        PlatformClass::Cloud,
+        PlatformClass::Iot,
+        PlatformClass::IotX,
+    ] {
         for (net, kind) in [
             ("MLP", AlgorithmKind::ReinforceMlp),
             ("RNN", AlgorithmKind::Reinforce),
@@ -73,7 +76,10 @@ fn main() {
         );
         let problem = problem_with_levels(12, PlatformClass::Iot);
         let variants = [
-            ("paper default (P_min + accumulated penalty)", RewardConfig::default()),
+            (
+                "paper default (P_min + accumulated penalty)",
+                RewardConfig::default(),
+            ),
             (
                 "no P_min baseline",
                 RewardConfig {

@@ -15,9 +15,7 @@
 
 use std::path::PathBuf;
 
-use confuciux::{
-    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
-};
+use confuciux::{ConstraintKind, Deployment, HwProblem, Objective, PlatformClass};
 use maestro::Dataflow;
 
 /// Common command-line arguments for experiment binaries.

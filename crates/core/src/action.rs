@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn with_levels_12_is_the_paper_menu() {
-        assert_eq!(ActionSpace::with_levels(12, 128), ActionSpace::paper_default());
+        assert_eq!(
+            ActionSpace::with_levels(12, 128),
+            ActionSpace::paper_default()
+        );
     }
 
     #[test]

@@ -152,8 +152,7 @@ pub fn critic_study(problem: &HwProblem, config: &CriticStudyConfig) -> Vec<Crit
                     let x = Matrix::row_from_slice(&xs[i]);
                     let (pred, cache) = critic.forward(&x);
                     let err = pred.get(0, 0) - (ys[i] / scale) as f32;
-                    let dout =
-                        Matrix::from_vec(1, 1, vec![2.0 * err / chunk.len() as f32]);
+                    let dout = Matrix::from_vec(1, 1, vec![2.0 * err / chunk.len() as f32]);
                     critic.backward(&cache, &dout);
                 }
                 let mut params = critic.params_mut();

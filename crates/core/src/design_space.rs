@@ -19,7 +19,8 @@ pub fn log10_binomial(n: u64, k: u64) -> f64 {
 /// `log10` of the LP design-space size for `pes` PEs and `buffers` buffer
 /// units split across `layers` layers (§I: `C(P-1, N) · C(B-1, N)`).
 pub fn log10_lp_design_space(pes: u64, buffers: u64, layers: u64) -> f64 {
-    log10_binomial(pes.saturating_sub(1), layers) + log10_binomial(buffers.saturating_sub(1), layers)
+    log10_binomial(pes.saturating_sub(1), layers)
+        + log10_binomial(buffers.saturating_sub(1), layers)
 }
 
 /// `log10` of the *coarse* action-space size: `L^(2N)` for `L` levels and
@@ -33,10 +34,10 @@ pub fn log10_coarse_action_space(levels: usize, layers: usize) -> f64 {
 fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

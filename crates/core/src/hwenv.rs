@@ -322,7 +322,10 @@ mod tests {
         }
         let last = last.unwrap();
         assert!(last.done);
-        assert!(env.outcome_cost().is_none(), "violated episode has no outcome");
+        assert!(
+            env.outcome_cost().is_none(),
+            "violated episode has no outcome"
+        );
         assert!(last.reward <= 0.0, "penalty must not be positive");
     }
 

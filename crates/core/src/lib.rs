@@ -58,6 +58,6 @@ pub use problem::{HwProblem, HwProblemBuilder};
 pub use report::{format_sci, write_json, ExperimentTable};
 pub use search::{
     fine_tune, make_agent, run_baseline, run_rl_search, run_rl_search_with_reward,
-    two_stage_search, AlgorithmKind, BaselineKind, FineTuneResult, RlSearchResult,
-    SearchBudget, TwoStageConfig, TwoStageResult,
+    two_stage_search, AlgorithmKind, BaselineKind, FineTuneResult, RlSearchResult, SearchBudget,
+    TwoStageConfig, TwoStageResult,
 };

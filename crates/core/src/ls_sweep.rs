@@ -82,7 +82,7 @@ pub fn heuristic_b(problem: &HwProblem) -> Option<Assignment> {
         for b in 0..space.levels() {
             let point = DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
             if let Some(a) = problem.evaluate_ls(dataflow, point) {
-                if best.as_ref().map_or(true, |x| a.cost < x.cost) {
+                if best.as_ref().is_none_or(|x| a.cost < x.cost) {
                     best = Some(a);
                 }
             }
@@ -103,7 +103,7 @@ fn sweep_single_layer(
             let point = DesignPoint::new(space.pe(p), space.tile(b)).ok()?;
             let report = problem.evaluate_layer(layer, dataflow, point);
             let cost = problem.objective().of(&report);
-            if best.map_or(true, |(_, c)| cost < c) {
+            if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((point, cost));
             }
         }
@@ -135,9 +135,9 @@ mod tests {
             // The sweep's optimum is at least as good as both grid corners.
             for (pe, b) in [(0usize, 0usize), (space.levels() - 1, space.levels() - 1)] {
                 let point = DesignPoint::new(space.pe(pe), space.tile(b)).unwrap();
-                let corner = p
-                    .objective()
-                    .of(&p.evaluate_layer(opt.layer, Dataflow::NvdlaStyle, point));
+                let corner =
+                    p.objective()
+                        .of(&p.evaluate_layer(opt.layer, Dataflow::NvdlaStyle, point));
                 assert!(opt.cost <= corner, "layer {}", opt.layer);
             }
         }
@@ -150,9 +150,7 @@ mod tests {
         let optima = per_layer_optima(&p);
         let first = (optima[0].pe_level, optima[0].buf_level);
         assert!(
-            optima
-                .iter()
-                .any(|o| (o.pe_level, o.buf_level) != first),
+            optima.iter().any(|o| (o.pe_level, o.buf_level) != first),
             "every layer picked {first:?} — the design space lost its tension"
         );
     }

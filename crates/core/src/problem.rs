@@ -5,8 +5,7 @@ use dnn_models::Model;
 use maestro::{CostModel, CostReport, Dataflow, DesignPoint};
 
 use crate::{
-    ActionSpace, Assignment, ConstraintKind, Deployment, LayerAssignment, Objective,
-    PlatformClass,
+    ActionSpace, Assignment, ConstraintKind, Deployment, LayerAssignment, Objective, PlatformClass,
 };
 
 /// A fully-specified HW resource-assignment problem instance: the inputs of

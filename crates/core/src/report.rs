@@ -54,7 +54,11 @@ impl ExperimentTable {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -89,7 +93,7 @@ mod tests {
 
     #[test]
     fn sci_format_matches_paper_style() {
-        assert_eq!(format_sci(Some(3.2e7)), "3.2E7".replace("E7", "E7"));
+        assert_eq!(format_sci(Some(3.2e7)), "3.2E7");
         // Rust's {:.1E} renders 3.2E7; normalize expectations to that.
         assert_eq!(format_sci(Some(32_000_000.0)), "3.2E7");
         assert_eq!(format_sci(None), "NAN");

@@ -154,12 +154,9 @@ pub fn make_agent(kind: AlgorithmKind, env: &HwEnv<'_>, rng: &mut Rng) -> Box<dy
     let obs = env.obs_dim();
     let dims = env.action_dims();
     match kind {
-        AlgorithmKind::Reinforce => Box::new(Reinforce::new(
-            obs,
-            dims,
-            ReinforceConfig::default(),
-            rng,
-        )),
+        AlgorithmKind::Reinforce => {
+            Box::new(Reinforce::new(obs, dims, ReinforceConfig::default(), rng))
+        }
         AlgorithmKind::ReinforceMlp => Box::new(Reinforce::new(
             obs,
             dims,
@@ -216,7 +213,7 @@ pub fn run_rl_search_with_reward(
             if result.initial_valid_cost.is_none() {
                 result.initial_valid_cost = Some(cost);
             }
-            let improved = result.best.as_ref().map_or(true, |b| cost < b.cost);
+            let improved = result.best.as_ref().is_none_or(|b| cost < b.cost);
             if improved {
                 result.best = env.last_outcome().cloned();
             }
@@ -261,9 +258,7 @@ pub fn run_baseline(
         dims.push(if g % per_layer == 2 { 3 } else { levels });
     }
     let space = SearchSpace::new(dims);
-    let eval = |genome: &[usize]| -> Option<f64> {
-        decode_coarse(problem, genome).map(|a| a.cost)
-    };
+    let eval = |genome: &[usize]| -> Option<f64> { decode_coarse(problem, genome).map(|a| a.cost) };
     let start = Instant::now();
     let outcome = match kind {
         BaselineKind::Grid => GridSearch::default().run(&space, budget.epochs, eval, &mut rng),
@@ -286,11 +281,7 @@ pub fn run_baseline(
         .best
         .as_ref()
         .and_then(|(genome, _)| decode_coarse(problem, genome));
-    let initial_valid_cost = outcome
-        .trace
-        .iter()
-        .find(|c| c.is_finite())
-        .copied();
+    let initial_valid_cost = outcome.trace.iter().find(|c| c.is_finite()).copied();
     RlSearchResult {
         algorithm: kind.name().to_string(),
         best,
@@ -410,9 +401,7 @@ pub fn fine_tune(
             .collect();
         match problem.deployment() {
             Deployment::LayerPipelined => problem.evaluate_lp(&layers),
-            Deployment::LayerSequential => {
-                problem.evaluate_ls(layers[0].dataflow, layers[0].point)
-            }
+            Deployment::LayerSequential => problem.evaluate_ls(layers[0].dataflow, layers[0].point),
         }
         .expect("best genome was feasible when recorded")
     });
@@ -458,7 +447,11 @@ pub struct TwoStageResult {
 impl TwoStageResult {
     /// The final best cost across both stages.
     pub fn final_cost(&self) -> Option<f64> {
-        let fine = self.fine.as_ref().and_then(|f| f.best.as_ref()).map(|a| a.cost);
+        let fine = self
+            .fine
+            .as_ref()
+            .and_then(|f| f.best.as_ref())
+            .map(|a| a.cost);
         match (fine, self.global.best_cost()) {
             (Some(f), Some(g)) => Some(f.min(g)),
             (a, b) => a.or(b),
@@ -522,7 +515,12 @@ mod tests {
     #[test]
     fn fine_tune_never_worsens_a_feasible_seed() {
         let p = tiny_problem();
-        let r = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 40 }, 11);
+        let r = run_rl_search(
+            &p,
+            AlgorithmKind::Reinforce,
+            SearchBudget { epochs: 40 },
+            11,
+        );
         let coarse = r.best.expect("feasible coarse solution");
         let fine = fine_tune(&p, &coarse, 300, 7);
         let fine_best = fine.best.expect("fine stage keeps feasibility");
@@ -569,7 +567,12 @@ mod tests {
             .mix_dataflow()
             .constraint(ConstraintKind::Area, PlatformClass::Iot)
             .build();
-        let r = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 60 }, 31);
+        let r = run_rl_search(
+            &p,
+            AlgorithmKind::Reinforce,
+            SearchBudget { epochs: 60 },
+            31,
+        );
         if let Some(best) = &r.best {
             // At least the assignment is well-formed with per-layer dataflows.
             assert_eq!(best.layers.len(), p.model().len());

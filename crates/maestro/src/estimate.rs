@@ -61,7 +61,15 @@ impl CostModel {
         let mapping = SpatialMapping::factor(p, d_outer, d_inner);
         let compute_cycles = self.compute_cycles(layer, dataflow, kt, &mapping);
         let traffic = self.traffic(layer, dataflow, kt, &mapping);
-        self.account(layer, dataflow, point, kt, &mapping, compute_cycles, traffic)
+        self.account(
+            layer,
+            dataflow,
+            point,
+            kt,
+            &mapping,
+            compute_cycles,
+            traffic,
+        )
     }
 
     /// Compute-bound cycles: temporal iterations × per-PE work per iteration,
@@ -88,9 +96,7 @@ impl CostModel {
             // Outer = Y', inner = R; temporal loop over k-groups, channels
             // and X'. Each PE convolves one filter row for kt filters: kt·S
             // MACs per step.
-            Dataflow::EyerissStyle => {
-                m.temporal_iters() * k_groups * c_red * xo * ktf * s
-            }
+            Dataflow::EyerissStyle => m.temporal_iters() * k_groups * c_red * xo * ktf * s,
             // Outer = Y', inner = X'; temporal loop over k-groups and the
             // full reduction. Each PE accumulates kt output channels for its
             // pixel: kt·R·S MACs per channel step.
@@ -182,7 +188,7 @@ impl CostModel {
                 } else {
                     layer.k().div_ceil(kt) as f64
                 };
-                let in_l2l1 = inputs * k_groups.min(4.0).max(1.0);
+                let in_l2l1 = inputs * k_groups.clamp(1.0, 4.0);
                 let l2_tile = ktf * r * s // broadcast weight tile
                     + (m.used_pes() as f64) * r * s / r.max(1.0) // halo-shared inputs
                     + (m.used_pes() as f64) * ktf; // resident psums

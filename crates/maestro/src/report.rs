@@ -232,8 +232,10 @@ mod tests {
     #[test]
     fn default_report_is_physical() {
         assert!(CostReport::default().is_physical());
-        let mut bad = CostReport::default();
-        bad.latency_cycles = f64::NAN;
+        let bad = CostReport {
+            latency_cycles: f64::NAN,
+            ..Default::default()
+        };
         assert!(!bad.is_physical());
     }
 }

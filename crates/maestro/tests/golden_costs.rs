@@ -1,0 +1,130 @@
+//! Golden-value regression tests for `CostModel::evaluate`.
+//!
+//! The downstream search, the shaped rewards, and every table/figure binary
+//! all sit on top of these numbers, so cost-model refactors must not move
+//! them silently. The four tuples below cover each dataflow style plus the
+//! layer kinds with distinct reuse behaviour (dense conv, depthwise conv,
+//! GEMM, strided conv).
+//!
+//! The golden values are the model's output at the time the workspace first
+//! went green (PR 1). They are *model* constants, not physics: if a future
+//! change moves them **on purpose** (e.g. a fidelity fix validated against
+//! MAESTRO), update the constants in the same commit and say why in the
+//! commit message. `f64` literals round-trip exactly through their decimal
+//! form, so `assert_eq!` here is a bit-exact comparison.
+
+use maestro::{CostModel, Dataflow, DesignPoint, Layer};
+
+struct Golden {
+    name: &'static str,
+    layer: Layer,
+    dataflow: Dataflow,
+    point: DesignPoint,
+    latency_cycles: f64,
+    energy_nj: f64,
+    area_um2: f64,
+    power_mw: f64,
+    utilization: f64,
+    dram_bytes: f64,
+}
+
+fn golden_cases() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "conv3x3_nvdla_16pe",
+            layer: Layer::conv2d("conv", 64, 32, 56, 56, 3, 3, 1).unwrap(),
+            dataflow: Dataflow::NvdlaStyle,
+            point: DesignPoint::new(16, 4).unwrap(),
+            latency_cycles: 3359296.0,
+            energy_nj: 291423.51288765494,
+            area_um2: 37960.0,
+            power_mw: 66.98539714739485,
+            utilization: 1.0,
+            dram_bytes: 606464.0,
+        },
+        Golden {
+            name: "depthwise_eyeriss_64pe",
+            layer: Layer::depthwise("dw", 192, 30, 30, 3, 3, 1).unwrap(),
+            dataflow: Dataflow::EyerissStyle,
+            point: DesignPoint::new(64, 2).unwrap(),
+            latency_cycles: 32320.0,
+            energy_nj: 46676.926464000004,
+            area_um2: 145109.2380952381,
+            power_mw: 244.57620645921736,
+            utilization: 0.65625,
+            dram_bytes: 325056.0,
+        },
+        Golden {
+            name: "gemm_shidiannao_128pe",
+            layer: Layer::gemm("fc", 512, 64, 1024).unwrap(),
+            dataflow: Dataflow::ShiDianNaoStyle,
+            point: DesignPoint::new(128, 8).unwrap(),
+            latency_cycles: 524352.0,
+            energy_nj: 193306.82254779252,
+            area_um2: 199614.5,
+            power_mw: 236.15661933775883,
+            utilization: 0.5,
+            dram_bytes: 622592.0,
+        },
+        Golden {
+            name: "conv5x5s2_nvdla_256pe",
+            layer: Layer::conv2d("c2", 96, 24, 112, 112, 5, 5, 2).unwrap(),
+            dataflow: Dataflow::NvdlaStyle,
+            point: DesignPoint::new(256, 6).unwrap(),
+            latency_cycles: 874864.0,
+            energy_nj: 769862.3384287496,
+            area_um2: 1338678.7994513032,
+            power_mw: 859.3214406912479,
+            utilization: 0.75,
+            dram_bytes: 638592.0,
+        },
+    ]
+}
+
+#[test]
+fn evaluate_matches_golden_values() {
+    let model = CostModel::default();
+    for case in golden_cases() {
+        let r = model.evaluate(&case.layer, case.dataflow, case.point);
+        assert_eq!(
+            r.latency_cycles, case.latency_cycles,
+            "{}: latency",
+            case.name
+        );
+        assert_eq!(r.energy_nj, case.energy_nj, "{}: energy", case.name);
+        assert_eq!(r.area_um2, case.area_um2, "{}: area", case.name);
+        assert_eq!(r.power_mw, case.power_mw, "{}: power", case.name);
+        assert_eq!(
+            r.utilization, case.utilization,
+            "{}: utilization",
+            case.name
+        );
+        assert_eq!(r.dram_bytes, case.dram_bytes, "{}: dram traffic", case.name);
+    }
+}
+
+#[test]
+fn golden_reports_are_internally_consistent() {
+    // The frozen tuples must also satisfy the model's own invariants, so a
+    // regression can't hide behind a matching headline number.
+    let model = CostModel::default();
+    for case in golden_cases() {
+        let r = model.evaluate(&case.layer, case.dataflow, case.point);
+        assert!(r.is_physical(), "{}: {r:?}", case.name);
+        assert!(
+            (r.energy.total_nj() - r.energy_nj).abs() <= 1e-6 * r.energy_nj,
+            "{}: energy breakdown does not sum",
+            case.name
+        );
+        assert!(
+            (r.area.total_um2() - r.area_um2).abs() <= 1e-6 * r.area_um2,
+            "{}: area breakdown does not sum",
+            case.name
+        );
+        assert!(
+            r.compute_cycles * case.point.num_pes() as f64 >= case.layer.macs() * 0.99,
+            "{}: compute cycles beat the parallelism bound",
+            case.name
+        );
+    }
+}

@@ -225,7 +225,10 @@ mod tests {
         let m = mobilenet_v2();
         assert_eq!(m.len(), 52);
         // 17 blocks each contribute one DWCONV.
-        assert_eq!(m.layer_indices_of_kind(LayerKind::DepthwiseConv2d).len(), 17);
+        assert_eq!(
+            m.layer_indices_of_kind(LayerKind::DepthwiseConv2d).len(),
+            17
+        );
     }
 
     #[test]

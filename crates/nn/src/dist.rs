@@ -13,8 +13,8 @@ pub fn softmax(logits: &Matrix) -> Matrix {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         let cols = logits.cols();
-        for c in 0..cols {
-            let e = (row[c] - max).exp();
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
             out.set(r, c, e);
             sum += e;
         }
@@ -32,8 +32,8 @@ pub fn log_softmax(logits: &Matrix) -> Matrix {
         let row = logits.row(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
-        for c in 0..logits.cols() {
-            out.set(r, c, row[c] - lse);
+        for (c, &v) in row.iter().enumerate() {
+            out.set(r, c, v - lse);
         }
     }
     out

@@ -30,8 +30,7 @@ mod mlp;
 
 pub use adam::Adam;
 pub use dist::{
-    categorical_entropy, gaussian_log_prob, log_softmax, sample_categorical, softmax,
-    GaussianGrad,
+    categorical_entropy, gaussian_log_prob, log_softmax, sample_categorical, softmax, GaussianGrad,
 };
 pub use linear::Linear;
 pub use lstm::{LstmCache, LstmCell, LstmState};

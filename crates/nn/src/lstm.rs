@@ -115,13 +115,7 @@ impl LstmCell {
             o,
             tanh_c_new,
         };
-        (
-            LstmState {
-                h: h_new,
-                c: c_new,
-            },
-            cache,
-        )
+        (LstmState { h: h_new, c: c_new }, cache)
     }
 
     /// One backward step (for BPTT, call in reverse time order threading

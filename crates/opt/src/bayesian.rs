@@ -59,8 +59,8 @@ fn cholesky(mut a: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= a[i][k] * a[j][k];
+            for (x, y) in a[i].iter().zip(a[j].iter()).take(j) {
+                sum -= x * y;
             }
             if i == j {
                 a[i][j] = sum.max(1e-12).sqrt();
@@ -68,9 +68,7 @@ fn cholesky(mut a: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
                 a[i][j] = sum / a[j][j];
             }
         }
-        for j in (i + 1)..n {
-            a[i][j] = 0.0;
-        }
+        a[i][i + 1..].fill(0.0);
     }
     a
 }
@@ -230,7 +228,7 @@ impl Optimizer for BayesianOpt {
                 };
                 let (m, s) = gp.predict(&space.normalize(&cand));
                 let ei = expected_improvement(m, s, incumbent);
-                if best_cand.as_ref().map_or(true, |(_, b)| ei > *b) {
+                if best_cand.as_ref().is_none_or(|(_, b)| ei > *b) {
                     best_cand = Some((cand, ei));
                 }
             }

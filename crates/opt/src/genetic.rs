@@ -103,6 +103,18 @@ impl Optimizer for GeneticAlgorithm {
                         *c = rng.gen_range(0..space.cardinality(i));
                     }
                 }
+                // With the paper's low rates (0.05/0.05) most children would
+                // be exact clones of a parent, wasting their evaluation.
+                // Force one gene to a *different* value so every evaluation
+                // explores.
+                if child == p1 || child == p2 {
+                    let i = rng.gen_range(0..child.len());
+                    let n = space.cardinality(i);
+                    if n > 1 {
+                        let shift = rng.gen_range(1..n);
+                        child[i] = (child[i] + shift) % n;
+                    }
+                }
                 let cost = eval(&child);
                 outcome.record(&child, cost);
                 next.push(Individual {

@@ -74,16 +74,11 @@ mod tests {
     #[test]
     fn all_optimizers_solve_separable_objective() {
         let space = SearchSpace::uniform(3, 6);
-        let eval = |g: &[usize]| {
-            Some(
-                g.iter()
-                    .map(|&v| (v as f64 - 2.0).powi(2))
-                    .sum::<f64>(),
-            )
-        };
-        let opts: Vec<(Box<dyn Fn(&mut Rng) -> SearchOutcome>, &str)> = vec![
+        let eval = |g: &[usize]| Some(g.iter().map(|&v| (v as f64 - 2.0).powi(2)).sum::<f64>());
+        type Runner<'a> = Box<dyn Fn(&mut Rng) -> SearchOutcome + 'a>;
+        let opts: Vec<(Runner, &str)> = vec![
             (
-                Box::new(|rng: &mut Rng| RandomSearch::default().run(&space, 600, eval, rng)),
+                Box::new(|rng: &mut Rng| RandomSearch.run(&space, 600, eval, rng)),
                 "random",
             ),
             (
@@ -91,15 +86,11 @@ mod tests {
                 "grid",
             ),
             (
-                Box::new(|rng: &mut Rng| {
-                    SimulatedAnnealing::default().run(&space, 600, eval, rng)
-                }),
+                Box::new(|rng: &mut Rng| SimulatedAnnealing::default().run(&space, 600, eval, rng)),
                 "sa",
             ),
             (
-                Box::new(|rng: &mut Rng| {
-                    GeneticAlgorithm::default().run(&space, 600, eval, rng)
-                }),
+                Box::new(|rng: &mut Rng| GeneticAlgorithm::default().run(&space, 600, eval, rng)),
                 "ga",
             ),
             (
@@ -131,7 +122,7 @@ mod tests {
         };
         let mut rng = Rng::seed_from_u64(7);
         for outcome in [
-            RandomSearch::default().run(&space, 300, eval, &mut rng),
+            RandomSearch.run(&space, 300, eval, &mut rng),
             SimulatedAnnealing::default().run(&space, 300, eval, &mut rng),
             GeneticAlgorithm::default().run(&space, 300, eval, &mut rng),
         ] {

@@ -227,7 +227,7 @@ impl FineOutcome {
     fn record(&mut self, genome: &[i64], cost: Option<f64>) {
         self.evaluations += 1;
         if let Some(c) = cost {
-            if self.best.as_ref().map_or(true, |(_, b)| c < *b) {
+            if self.best.as_ref().is_none_or(|(_, b)| c < *b) {
                 self.best = Some((genome.to_vec(), c));
             }
         }

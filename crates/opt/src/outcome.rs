@@ -29,7 +29,7 @@ impl SearchOutcome {
     pub fn record(&mut self, genome: &[usize], cost: Option<f64>) {
         self.evaluations += 1;
         if let Some(c) = cost {
-            let improved = self.best.as_ref().map_or(true, |(_, b)| c < *b);
+            let improved = self.best.as_ref().is_none_or(|(_, b)| c < *b);
             if improved {
                 self.best = Some((genome.to_vec(), c));
             }

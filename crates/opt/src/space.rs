@@ -62,8 +62,7 @@ impl SearchSpace {
 
     /// True if `genome` is inside the space.
     pub fn contains(&self, genome: &[usize]) -> bool {
-        genome.len() == self.dims.len()
-            && genome.iter().zip(&self.dims).all(|(&g, &d)| g < d)
+        genome.len() == self.dims.len() && genome.iter().zip(&self.dims).all(|(&g, &d)| g < d)
     }
 
     /// Normalizes a genome to `[0, 1]^n` (for the GP surrogate's kernel).

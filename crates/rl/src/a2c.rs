@@ -182,7 +182,10 @@ mod tests {
             agent.train_epoch(&mut env, &mut rng);
         }
         let obs = env.reset();
-        let v = agent.critic().infer(&Matrix::row_from_slice(&obs)).get(0, 0);
+        let v = agent
+            .critic()
+            .infer(&Matrix::row_from_slice(&obs))
+            .get(0, 0);
         // G_0 = 1 + 0.9*1 = 1.9 for horizon 2, gamma 0.9.
         assert!((v - 1.9).abs() < 0.4, "critic value {v}");
     }

@@ -74,8 +74,7 @@ impl Acktr {
         config: AcktrConfig,
         rng: &mut Rng,
     ) -> Self {
-        let mut policy =
-            PolicyNet::new(obs_dim, &action_dims, config.backbone, config.hidden, rng);
+        let mut policy = PolicyNet::new(obs_dim, &action_dims, config.backbone, config.hidden, rng);
         let critic = Mlp::new(
             &[obs_dim, config.critic_hidden, config.critic_hidden, 1],
             Activation::Tanh,
@@ -231,14 +230,16 @@ mod tests {
         p.g = Matrix::from_vec(1, 2, vec![100.0, 100.0]);
         let before = p.w.clone();
         Acktr::natural_step(&mut fisher, &mut [&mut p], &cfg);
-        let moved: f32 = p
-            .w
-            .data()
-            .iter()
-            .zip(before.data())
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f32>()
-            .sqrt();
-        assert!(moved <= cfg.max_update_norm * cfg.lr + 1e-4, "moved {moved}");
+        let moved: f32 =
+            p.w.data()
+                .iter()
+                .zip(before.data())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt();
+        assert!(
+            moved <= cfg.max_update_norm * cfg.lr + 1e-4,
+            "moved {moved}"
+        );
     }
 }

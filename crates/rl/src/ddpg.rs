@@ -164,7 +164,9 @@ impl Ddpg {
         // --- Critic: TD regression toward the target network. ---
         self.critic.zero_grad();
         for t in &batch {
-            let next_raw = self.actor_target.infer(&Matrix::row_from_slice(&t.next_obs));
+            let next_raw = self
+                .actor_target
+                .infer(&Matrix::row_from_slice(&t.next_obs));
             let next_action: Vec<f32> = next_raw.data().iter().map(|v| v.tanh()).collect();
             let mut next_in = t.next_obs.clone();
             next_in.extend_from_slice(&next_action);
@@ -300,7 +302,11 @@ mod tests {
             input.extend_from_slice(&am);
             let qm = critic.infer(&Matrix::row_from_slice(&input)).get(0, 0);
             let num = (qp - qm) / (2.0 * eps);
-            assert!((num - grad[i]).abs() < 1e-2, "da[{i}]: {num} vs {}", grad[i]);
+            assert!(
+                (num - grad[i]).abs() < 1e-2,
+                "da[{i}]: {num} vs {}",
+                grad[i]
+            );
         }
     }
 }

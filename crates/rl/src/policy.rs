@@ -1,6 +1,6 @@
 use tinynn::{
-    categorical_entropy, sample_categorical, softmax, Adam, Linear, LstmCache, LstmCell,
-    LstmState, Matrix, Param, Rng,
+    categorical_entropy, sample_categorical, softmax, Adam, Linear, LstmCache, LstmCell, LstmState,
+    Matrix, Param, Rng,
 };
 
 /// Backbone of the policy network: the paper's default is a single

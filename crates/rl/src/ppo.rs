@@ -142,8 +142,7 @@ impl Ppo {
                     let x = Matrix::row_from_slice(o);
                     let (v, cache) = self.critic.forward(&x);
                     let err = v.get(0, 0) - g;
-                    let dout =
-                        Matrix::from_vec(1, 1, vec![2.0 * err / ep.returns.len() as f32]);
+                    let dout = Matrix::from_vec(1, 1, vec![2.0 * err / ep.returns.len() as f32]);
                     self.critic.backward(&cache, &dout);
                 }
                 let mut cparams = self.critic.params_mut();
@@ -238,6 +237,10 @@ mod tests {
         agent.train_epoch(&mut env, &mut rng);
         assert_eq!(agent.buffer.len(), 2);
         agent.train_epoch(&mut env, &mut rng);
-        assert_eq!(agent.buffer.len(), 0, "buffer must flush on the 3rd episode");
+        assert_eq!(
+            agent.buffer.len(),
+            0,
+            "buffer must flush on the 3rd episode"
+        );
     }
 }

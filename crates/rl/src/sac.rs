@@ -197,17 +197,15 @@ impl Sac {
             let (q2v, dq2) = q_and_grad_wrt_action(&mut self.q2, &t.obs, &sample.action);
             let dq_da = if q1v <= q2v { dq1 } else { dq2 };
             let mut dout = Matrix::zeros(1, 2 * self.action_dim);
-            for i in 0..self.action_dim {
-                let a = sample.action[i];
-                let w = sample.deviation[i];
+            let per_dim = sample.action.iter().zip(&sample.deviation).zip(&dq_da);
+            for (i, ((&a, &w), &dq)) in per_dim.enumerate() {
                 let one_minus_a2 = 1.0 - a * a;
                 // d(α·logπ)/dmean ≈ α·2a (tanh-correction path);
                 // d(−Q)/dmean = −dQ/da · (1−a²).
-                let dmean = cfg.alpha * 2.0 * a - dq_da[i] * one_minus_a2;
+                let dmean = cfg.alpha * 2.0 * a - dq * one_minus_a2;
                 // d(α·logπ)/dlog_std = α(−1 + 2a·w); d(−Q)/dlog_std through
                 // a = tanh(mean + std·ε) with d(std·ε)/dlog_std = w.
-                let dlog_std =
-                    cfg.alpha * (-1.0 + 2.0 * a * w) - dq_da[i] * one_minus_a2 * w;
+                let dlog_std = cfg.alpha * (-1.0 + 2.0 * a * w) - dq * one_minus_a2 * w;
                 dout.set(0, i, dmean / cfg.batch_size as f32);
                 dout.set(0, self.action_dim + i, dlog_std / cfg.batch_size as f32);
             }

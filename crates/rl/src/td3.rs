@@ -123,7 +123,9 @@ impl Td3 {
         self.q1.zero_grad();
         self.q2.zero_grad();
         for t in &batch {
-            let next_raw = self.actor_target.infer(&Matrix::row_from_slice(&t.next_obs));
+            let next_raw = self
+                .actor_target
+                .infer(&Matrix::row_from_slice(&t.next_obs));
             let next_action: Vec<f32> = next_raw
                 .data()
                 .iter()
@@ -163,7 +165,10 @@ impl Td3 {
         }
 
         self.update_count += 1;
-        if self.update_count % cfg.policy_delay != 0 {
+        // `is_multiple_of(0)` is false for every count, which would skip the
+        // actor update forever instead of failing like `% 0` does.
+        assert!(cfg.policy_delay > 0, "policy_delay must be >= 1");
+        if !self.update_count.is_multiple_of(cfg.policy_delay) {
             return;
         }
         // --- Delayed actor update through Q1. ---

@@ -7,8 +7,8 @@
 //! ```
 
 use confuciux::{
-    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
-    PlatformClass, SearchBudget,
+    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+    SearchBudget,
 };
 use dnn_models::Model;
 use maestro::{Dataflow, Layer};

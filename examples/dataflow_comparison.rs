@@ -15,7 +15,10 @@ fn main() {
     let point = DesignPoint::new(64, 4).expect("valid design point");
 
     println!("per-layer latency (cycles) at {point}:\n");
-    println!("{:<22} {:>12} {:>12} {:>12}  winner", "layer", "dla", "eye", "shi");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}  winner",
+        "layer", "dla", "eye", "shi"
+    );
     let interesting = [0usize, 3, 11, 22, 33, 50, 51];
     for &i in &interesting {
         let layer = &model.layers()[i];

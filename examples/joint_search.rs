@@ -7,8 +7,8 @@
 //! ```
 
 use confuciux::{
-    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
-    PlatformClass, SearchBudget,
+    run_rl_search, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+    SearchBudget,
 };
 use maestro::Dataflow;
 
@@ -29,7 +29,7 @@ fn main() {
         match r.best_cost() {
             Some(c) => {
                 println!("  Con'X-{:<4} {c:.4e} cycles", df.short_name());
-                if best_fixed.map_or(true, |(b, _)| c < b) {
+                if best_fixed.is_none_or(|(b, _)| c < b) {
                     best_fixed = Some((c, df));
                 }
             }

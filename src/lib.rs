@@ -1,0 +1,20 @@
+//! Workspace-level façade for the ConfuciuX reproduction.
+//!
+//! This crate exists to anchor the repo-root `tests/` (cross-crate
+//! integration and property tests) and `examples/` in the cargo workspace.
+//! It re-exports the member crates so examples and downstream experiments
+//! can depend on a single package:
+//!
+//! * [`confuciux`] — the two-stage search (REINFORCE + local GA) itself;
+//! * [`maestro`] — the analytical cost model;
+//! * [`dnn_models`] — layer tables for the paper's six evaluation DNNs;
+//! * [`rl_core`] — the RL algorithm suite (REINFORCE, A2C, PPO, …);
+//! * [`opt_methods`] — classical DSE baselines (GA, SA, BO, …);
+//! * [`tinynn`] — the minimal NN substrate with explicit backprop.
+
+pub use confuciux;
+pub use dnn_models;
+pub use maestro;
+pub use opt_methods;
+pub use rl_core;
+pub use tinynn;

@@ -1,0 +1,67 @@
+//! Regression tests for the edge-case guards the first property-test runs
+//! exercised: the empty-model and wrong-length-assignment asserts are
+//! *intentional* API contracts (documented panics), and extreme design
+//! points must never push the cost model out of its physical envelope.
+
+use confuciux::{ConstraintKind, Deployment, HwProblem, Objective, PlatformClass};
+use maestro::{CostModel, Dataflow, DesignPoint, Layer};
+
+fn tiny_problem() -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+#[test]
+#[should_panic(expected = "at least one layer")]
+fn empty_models_are_rejected_at_construction() {
+    let _ = dnn_models::Model::new("empty", vec![]);
+}
+
+#[test]
+#[should_panic(expected = "LP assignments cover every layer")]
+fn lp_evaluation_rejects_wrong_length_assignments() {
+    let p = tiny_problem();
+    let _ = p.evaluate_lp(&[]);
+}
+
+#[test]
+fn zero_sized_design_points_are_rejected() {
+    assert!(DesignPoint::new(0, 1).is_err());
+    assert!(DesignPoint::new(1, 0).is_err());
+}
+
+#[test]
+fn extreme_design_points_stay_physical() {
+    // Far beyond any realistic platform: PE counts and tiles in the
+    // millions must not overflow or produce non-physical reports (the
+    // model computes in f64 end to end).
+    let model = CostModel::default();
+    let layer = Layer::conv2d("c", 1, 1, 3, 3, 3, 3, 1).unwrap();
+    for (pes, tile) in [(1u64, 1u64), (1 << 20, 1), (1, 1 << 20), (1 << 30, 1 << 20)] {
+        let point = DesignPoint::new(pes, tile).unwrap();
+        for df in Dataflow::ALL {
+            let r = model.evaluate(&layer, df, point);
+            assert!(r.is_physical(), "pes={pes} tile={tile} {df:?}: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn huge_layers_evaluate_without_overflow() {
+    // ~1.9e19 MACs — larger than any model in the zoo by orders of
+    // magnitude. The MAC count saturates the f64 path, not u64 arithmetic.
+    let layer = Layer::gemm("g", u64::MAX >> 20, 1 << 10, 1 << 10).unwrap();
+    assert!(layer.macs() > 1e19);
+    let model = CostModel::default();
+    let r = model.evaluate(
+        &layer,
+        Dataflow::ShiDianNaoStyle,
+        DesignPoint::new(1024, 8).unwrap(),
+    );
+    assert!(r.is_physical(), "{r:?}");
+    assert!(r.latency_cycles.is_finite());
+}

@@ -46,7 +46,10 @@ fn mobilenet_single_pe_latency_tracks_total_macs() {
         })
         .sum();
     let macs = model.total_macs();
-    assert!(total >= macs, "compute cycles {total:.3e} < MACs {macs:.3e}");
+    assert!(
+        total >= macs,
+        "compute cycles {total:.3e} < MACs {macs:.3e}"
+    );
     assert!(total <= macs * 1.5, "rounding waste exploded: {total:.3e}");
 }
 

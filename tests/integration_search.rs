@@ -42,7 +42,12 @@ fn conx_finds_feasible_iot_solutions_where_random_and_ga_fail() {
 #[test]
 fn conx_improves_over_initial_valid_value() {
     let problem = mobilenet_problem(PlatformClass::Iot);
-    let r = run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 400 }, 3);
+    let r = run_rl_search(
+        &problem,
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: 400 },
+        3,
+    );
     let init = r.initial_valid_cost.expect("finds a first valid value");
     let best = r.best_cost().expect("keeps a best value");
     assert!(
@@ -57,9 +62,24 @@ fn conx_improves_over_initial_valid_value() {
 fn traces_are_monotone_and_solutions_feasible() {
     let problem = mobilenet_problem(PlatformClass::Cloud);
     for result in [
-        run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 100 }, 5),
-        run_baseline(&problem, BaselineKind::Random, SearchBudget { epochs: 100 }, 5),
-        run_baseline(&problem, BaselineKind::SimulatedAnnealing, SearchBudget { epochs: 100 }, 5),
+        run_rl_search(
+            &problem,
+            AlgorithmKind::Reinforce,
+            SearchBudget { epochs: 100 },
+            5,
+        ),
+        run_baseline(
+            &problem,
+            BaselineKind::Random,
+            SearchBudget { epochs: 100 },
+            5,
+        ),
+        run_baseline(
+            &problem,
+            BaselineKind::SimulatedAnnealing,
+            SearchBudget { epochs: 100 },
+            5,
+        ),
     ] {
         for w in result.trace.windows(2) {
             assert!(w[1] <= w[0], "best-so-far must not regress");
@@ -81,7 +101,12 @@ fn ls_search_returns_single_uniform_config() {
         .constraint(ConstraintKind::Area, PlatformClass::Cloud)
         .deployment(Deployment::LayerSequential)
         .build();
-    let r = run_baseline(&problem, BaselineKind::Random, SearchBudget { epochs: 144 }, 9);
+    let r = run_baseline(
+        &problem,
+        BaselineKind::Random,
+        SearchBudget { epochs: 144 },
+        9,
+    );
     let best = r.best.expect("cloud LS is feasible");
     assert_eq!(best.layers.len(), 1);
     // Re-evaluating the config must reproduce the recorded cost.
@@ -100,7 +125,12 @@ fn gemm_model_search_works() {
         .constraint(ConstraintKind::Area, PlatformClass::Iot)
         .deployment(Deployment::LayerPipelined)
         .build();
-    let r = run_rl_search(&problem, AlgorithmKind::Reinforce, SearchBudget { epochs: 150 }, 11);
+    let r = run_rl_search(
+        &problem,
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: 150 },
+        11,
+    );
     let best = r.best.expect("NCF IoT is solvable");
     assert_eq!(best.layers.len(), 5);
 }

@@ -45,7 +45,12 @@ fn two_stage_improves_or_preserves_on_mobilenet() {
 #[test]
 fn fine_tune_on_gemm_model_respects_budget() {
     let p = problem("NCF", PlatformClass::Iot);
-    let global = run_rl_search(&p, AlgorithmKind::Reinforce, SearchBudget { epochs: 200 }, 5);
+    let global = run_rl_search(
+        &p,
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: 200 },
+        5,
+    );
     let coarse = global.best.expect("NCF IoT solvable");
     let fine = fine_tune(&p, &coarse, 500, 6);
     let best = fine.best.expect("fine stage keeps a feasible best");

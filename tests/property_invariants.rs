@@ -13,14 +13,14 @@ fn arb_layer() -> impl Strategy<Value = Layer> {
     prop_oneof![
         (1u64..256, 1u64..256, 6u64..64, 1u64..4, 1u64..3).prop_map(|(k, c, hw, r2, s)| {
             let r = 2 * r2 - 1; // odd filters 1/3/5/7
-            Layer::conv2d("p", k, c, hw + r - 1, hw + r - 1, r, r, s).expect("valid by construction")
+            Layer::conv2d("p", k, c, hw + r - 1, hw + r - 1, r, r, s)
+                .expect("valid by construction")
         }),
         (1u64..256, 6u64..64, 1u64..3).prop_map(|(ch, hw, s)| {
             Layer::depthwise("p", ch, hw + 2, hw + 2, 3, 3, s).expect("valid by construction")
         }),
-        (1u64..512, 1u64..512, 1u64..512).prop_map(|(m, n, k)| {
-            Layer::gemm("p", m, n, k).expect("valid by construction")
-        }),
+        (1u64..512, 1u64..512, 1u64..512)
+            .prop_map(|(m, n, k)| { Layer::gemm("p", m, n, k).expect("valid by construction") }),
     ]
 }
 

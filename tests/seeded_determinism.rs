@@ -1,0 +1,102 @@
+//! Seeded determinism of the full two-stage pipeline: the same seed must
+//! produce bit-identical results across runs. Future parallelization or
+//! batching work must preserve this (or introduce an explicit opt-out),
+//! because every table/figure binary reports seed-tagged numbers.
+
+use confuciux::{
+    two_stage_search, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
+    TwoStageConfig, TwoStageResult,
+};
+use maestro::Dataflow;
+
+fn problem() -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+fn config() -> TwoStageConfig {
+    TwoStageConfig {
+        global_epochs: 120,
+        fine_evaluations: 300,
+        ..TwoStageConfig::default()
+    }
+}
+
+/// Asserts every seed-dependent field matches bit-for-bit (wall-clock
+/// times are the only fields allowed to differ).
+fn assert_bit_identical(a: &TwoStageResult, b: &TwoStageResult) {
+    assert_eq!(a.global.algorithm, b.global.algorithm);
+    assert_eq!(
+        a.global.best, b.global.best,
+        "global best assignments differ"
+    );
+    let bits = |t: &[f64]| t.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&a.global.trace),
+        bits(&b.global.trace),
+        "global best-so-far traces differ"
+    );
+    assert_eq!(
+        a.global.initial_valid_cost.map(f64::to_bits),
+        b.global.initial_valid_cost.map(f64::to_bits)
+    );
+    assert_eq!(a.global.epochs_to_converge, b.global.epochs_to_converge);
+    assert_eq!(a.global.param_count, b.global.param_count);
+
+    assert_eq!(a.fine.is_some(), b.fine.is_some());
+    if let (Some(fa), Some(fb)) = (&a.fine, &b.fine) {
+        assert_eq!(fa.best, fb.best, "fine-tuned best assignments differ");
+        assert_eq!(bits(&fa.trace), bits(&fb.trace), "fine-stage traces differ");
+        assert_eq!(fa.evaluations, fb.evaluations);
+    }
+
+    assert_eq!(
+        a.final_cost().map(f64::to_bits),
+        b.final_cost().map(f64::to_bits),
+        "final costs differ"
+    );
+}
+
+#[test]
+fn two_stage_search_is_bit_identical_across_runs() {
+    let p = problem();
+    let cfg = config();
+    let r1 = two_stage_search(&p, &cfg, 42);
+    let r2 = two_stage_search(&p, &cfg, 42);
+    assert!(
+        r1.final_cost().is_some(),
+        "seed 42 must find a feasible assignment on tiny_cnn/IoT"
+    );
+    assert_bit_identical(&r1, &r2);
+}
+
+#[test]
+fn determinism_holds_on_a_fresh_problem_instance() {
+    // Rebuilding the problem from scratch must not perturb the result:
+    // no hidden global state, interior mutability, or address-dependent
+    // iteration order anywhere in the pipeline.
+    let cfg = config();
+    let r1 = two_stage_search(&problem(), &cfg, 7);
+    let r2 = two_stage_search(&problem(), &cfg, 7);
+    assert_bit_identical(&r1, &r2);
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    // Not a strict requirement of the paper, but if two seeds ever walk
+    // identical global traces the seeding is almost certainly broken.
+    // The epoch-by-epoch REINFORCE trajectory over a continuous-cost
+    // surface makes an accidental full-trace collision implausible.
+    let p = problem();
+    let cfg = config();
+    let r1 = two_stage_search(&p, &cfg, 1);
+    let r2 = two_stage_search(&p, &cfg, 2);
+    let differs = r1.global.trace != r2.global.trace
+        || r1.global.best != r2.global.best
+        || r1.final_cost().map(f64::to_bits) != r2.final_cost().map(f64::to_bits);
+    assert!(differs, "seeds 1 and 2 produced bit-identical searches");
+}

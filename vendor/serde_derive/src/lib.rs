@@ -1,0 +1,565 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the mini-serde `Serialize`/`Deserialize` traits (defined in the
+//! vendored `serde` crate) for plain structs and enums. The build
+//! environment has no crates.io access, so instead of `syn`/`quote` this
+//! walks the raw [`proc_macro::TokenStream`] with a small hand-written
+//! parser and emits the impl as formatted source text.
+//!
+//! Supported shapes: named-field structs, tuple structs, unit structs, and
+//! enums whose variants are unit, tuple, or struct-like. Generic parameters
+//! get a `Serialize`/`Deserialize` bound each. `#[serde(...)]` attributes
+//! are not supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item we are deriving for.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        fields: Vec<String>,
+    },
+    /// `struct S(T, U);` — `arity` counts the fields.
+    TupleStruct {
+        name: String,
+        generics: Vec<String>,
+        arity: usize,
+    },
+    /// `struct S;`
+    UnitStruct { name: String, generics: Vec<String> },
+    /// `enum E { A, B(T), C { x: T } }`
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip a `where` clause if present (runs until the body or `;`).
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => i += 1,
+            }
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                generics,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    generics,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name, generics },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, found `{other}`"),
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, 'a>` into type-parameter names; consumes through
+/// the closing `>`. Lifetimes and const params are skipped.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut in_lifetime = false;
+    let mut in_const = false;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    expecting_param = true;
+                    in_lifetime = false;
+                    in_const = false;
+                }
+                ':' if depth == 1 => expecting_param = false,
+                '\'' if depth == 1 => in_lifetime = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    in_const = true;
+                } else if in_lifetime {
+                    in_lifetime = false;
+                } else if !in_const {
+                    params.push(s);
+                    expecting_param = false;
+                } else {
+                    expecting_param = false;
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses `a: T, pub b: U<V, W>` into field names, skipping types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:` then skip the type up to a comma at angle-depth 0.
+        debug_assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        i += 1;
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn impl_header(trait_name: &str, name: &str, generics: &[String]) -> String {
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name}")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {name}<{}>",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{header} {{ fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Value::Object(::std::vec![{entries}]) }} }}",
+                header = impl_header("Serialize", name, generics),
+                entries = entries.join(", ")
+            )
+        }
+        Item::TupleStruct {
+            name,
+            generics,
+            arity,
+        } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|n| format!("::serde::Serialize::to_value(&self.{n})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                header = impl_header("Serialize", name, generics)
+            )
+        }
+        Item::UnitStruct { name, generics } => format!(
+            "{header} {{ fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}",
+            header = impl_header("Serialize", name, generics)
+        ),
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|n| format!("__f{n}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {fields} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{header} {{ fn to_value(&self) -> ::serde::Value {{ \
+                 match self {{ {arms} }} }} }}",
+                header = impl_header("Serialize", name, generics),
+                arms = arms.join(" ")
+            )
+        }
+    }
+}
+
+fn field_expr(ty_name: &str, field: &str) -> String {
+    format!(
+        "{field}: match __v.get_field(\"{field}\") {{ \
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+         ::std::option::Option::None => \
+           ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::DeError::missing_field(\"{ty_name}\", \"{field}\"))?, }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields, .. } => {
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity, .. } => {
+            if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__v)?))"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|n| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                             __items.get({n}).ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}: tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __v {{ ::serde::Value::Array(__items) => \
+                     ::std::result::Result::Ok({name}({inits})), \
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"{name} tuple\", __other)), }}",
+                    inits = inits.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name, .. } => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Item::Enum { name, variants, .. } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) if *arity == 1 => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|n| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         __items.get({n}).ok_or_else(|| \
+                                         ::serde::DeError::custom(\
+                                         \"{name}::{vn}: tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __payload {{ \
+                                 ::serde::Value::Array(__items) => \
+                                 ::std::result::Result::Ok({name}::{vn}({inits})), \
+                                 __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{name}::{vn} tuple\", \
+                                 __other)), }},",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    field_expr(&format!("{name}::{vn}"), f)
+                                        .replace("__v.get_field", "__payload.get_field")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {inits} }}),",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                   {unit_arms} \
+                   __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))), }}, \
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                   let (__tag, __payload) = &__fields[0]; \
+                   match __tag.as_str() {{ \
+                     {data_arms} \
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown {name} variant `{{__other}}`\"))), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                   ::serde::DeError::expected(\"{name} variant\", __other)), }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" ")
+            )
+        }
+    };
+    let (name, generics) = match item {
+        Item::Struct { name, generics, .. }
+        | Item::TupleStruct { name, generics, .. }
+        | Item::UnitStruct { name, generics }
+        | Item::Enum { name, generics, .. } => (name, generics),
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header("Deserialize", name, generics)
+    )
+}
