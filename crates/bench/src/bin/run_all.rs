@@ -35,6 +35,9 @@ fn main() {
         BINARIES.iter().map(|(n, e)| (n.to_string(), *e)).collect();
     plan.push(("table8_fpga".to_string(), 200));
     plan.push(("table9_policy_ablation".to_string(), 150));
+    // Collect failures instead of aborting on the first one, so a CI run
+    // reports every broken binary at once.
+    let mut failures: Vec<String> = Vec::new();
     for (name, default_epochs) in plan {
         let epochs = if args.epochs > 0 {
             args.epochs
@@ -51,11 +54,28 @@ fn main() {
             cmd.arg("--full");
         }
         println!("\n===== {name} =====");
-        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {name}: {e}"));
-        assert!(status.success(), "{name} failed with {status}");
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} failed with {status}");
+                failures.push(format!("{name}: exited with {status}"));
+            }
+            Err(e) => {
+                eprintln!("{name} failed to spawn: {e}");
+                failures.push(format!("{name}: spawn error: {e}"));
+            }
+        }
     }
-    println!(
-        "\nall experiments complete; results in {}",
-        args.out.display()
-    );
+    if failures.is_empty() {
+        println!(
+            "\nall experiments complete; results in {}",
+            args.out.display()
+        );
+    } else {
+        eprintln!("\n{} experiment binary(ies) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

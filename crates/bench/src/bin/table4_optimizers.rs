@@ -103,9 +103,21 @@ fn main() {
         for kind in BaselineKind::TABLE4 {
             let r = run_baseline(&problem, kind, budget, args.seed);
             cells.push(format_sci(r.best_cost()));
+            eprintln!(
+                "  {}: {} evals ({:.0}% cache hits)",
+                r.algorithm,
+                r.eval_stats.total(),
+                r.eval_stats.hit_rate() * 100.0
+            );
         }
         let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
         cells.push(format_sci(conx.best_cost()));
+        eprintln!(
+            "  {}: {} evals ({:.0}% cache hits)",
+            conx.algorithm,
+            conx.eval_stats.total(),
+            conx.eval_stats.hit_rate() * 100.0
+        );
         table.push_row(cells);
         eprintln!("done: {objective} {constraint} {platform}");
     }

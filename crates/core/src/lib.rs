@@ -54,6 +54,9 @@ pub use critic_study::{critic_study, CriticStudyConfig, CriticStudyResult};
 pub use design_space::{log10_binomial, log10_coarse_action_space, log10_lp_design_space};
 pub use hwenv::{HwEnv, RewardConfig};
 pub use ls_sweep::{heuristic_a, heuristic_b, per_layer_optima, PerLayerOptimum};
+// Evaluation-engine types re-exported so downstream binaries can reach
+// them without a direct `maestro` dependency edge.
+pub use maestro::{threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, THREADS_ENV};
 pub use problem::{HwProblem, HwProblemBuilder};
 pub use report::{format_sci, write_json, ExperimentTable};
 pub use search::{

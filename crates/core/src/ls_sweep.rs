@@ -33,28 +33,36 @@ pub fn per_layer_optima(problem: &HwProblem) -> Vec<PerLayerOptimum> {
         .expect("per-layer sweep needs a fixed dataflow");
     let space = problem.actions();
     let levels = space.levels();
-    (0..problem.model().len())
-        .map(|layer| {
+    // The whole layers × L × L lattice prices as one engine batch.
+    let mut queries = Vec::with_capacity(problem.model().len() * levels * levels);
+    for layer in 0..problem.model().len() {
+        for p in 0..levels {
+            for b in 0..levels {
+                let point = DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
+                queries.push((layer, dataflow, point));
+            }
+        }
+    }
+    let reports = problem.evaluate_layer_batch(&queries);
+    reports
+        .chunks(levels * levels)
+        .enumerate()
+        .map(|(layer, reports)| {
             let mut best = PerLayerOptimum {
                 layer,
                 pe_level: 0,
                 buf_level: 0,
                 cost: f64::MAX,
             };
-            for p in 0..levels {
-                for b in 0..levels {
-                    let point =
-                        DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
-                    let report = problem.evaluate_layer(layer, dataflow, point);
-                    let cost = problem.objective().of(&report);
-                    if cost < best.cost {
-                        best = PerLayerOptimum {
-                            layer,
-                            pe_level: p,
-                            buf_level: b,
-                            cost,
-                        };
-                    }
+            for (i, report) in reports.iter().enumerate() {
+                let cost = problem.objective().of(report);
+                if cost < best.cost {
+                    best = PerLayerOptimum {
+                        layer,
+                        pe_level: i / levels,
+                        buf_level: i % levels,
+                        cost,
+                    };
                 }
             }
             best
@@ -77,18 +85,24 @@ pub fn heuristic_a(problem: &HwProblem) -> Option<Assignment> {
 pub fn heuristic_b(problem: &HwProblem) -> Option<Assignment> {
     let dataflow = problem.dataflow()?;
     let space = problem.actions();
-    let mut best: Option<Assignment> = None;
+    let mut configs = Vec::with_capacity(space.levels() * space.levels());
     for p in 0..space.levels() {
         for b in 0..space.levels() {
             let point = DesignPoint::new(space.pe(p), space.tile(b)).expect("levels positive");
-            if let Some(a) = problem.evaluate_ls(dataflow, point) {
-                if best.as_ref().is_none_or(|x| a.cost < x.cost) {
-                    best = Some(a);
-                }
-            }
+            configs.push((dataflow, point));
         }
     }
-    best
+    problem
+        .evaluate_ls_batch(&configs)
+        .into_iter()
+        .flatten()
+        .fold(None, |best: Option<Assignment>, a| {
+            if best.as_ref().is_none_or(|x| a.cost < x.cost) {
+                Some(a)
+            } else {
+                best
+            }
+        })
 }
 
 fn sweep_single_layer(
@@ -97,15 +111,19 @@ fn sweep_single_layer(
     layer: usize,
 ) -> Option<DesignPoint> {
     let space = problem.actions();
-    let mut best: Option<(DesignPoint, f64)> = None;
+    let mut queries = Vec::with_capacity(space.levels() * space.levels());
     for p in 0..space.levels() {
         for b in 0..space.levels() {
             let point = DesignPoint::new(space.pe(p), space.tile(b)).ok()?;
-            let report = problem.evaluate_layer(layer, dataflow, point);
-            let cost = problem.objective().of(&report);
-            if best.is_none_or(|(_, c)| cost < c) {
-                best = Some((point, cost));
-            }
+            queries.push((layer, dataflow, point));
+        }
+    }
+    let reports = problem.evaluate_layer_batch(&queries);
+    let mut best: Option<(DesignPoint, f64)> = None;
+    for (&(_, _, point), report) in queries.iter().zip(&reports) {
+        let cost = problem.objective().of(report);
+        if best.is_none_or(|(_, c)| cost < c) {
+            best = Some((point, cost));
         }
     }
     best.map(|(p, _)| p)

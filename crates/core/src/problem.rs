@@ -1,8 +1,7 @@
-use std::collections::HashMap;
-use std::sync::Mutex;
-
 use dnn_models::Model;
-use maestro::{CostModel, CostReport, Dataflow, DesignPoint};
+use maestro::{
+    CostModel, CostOracle, CostReport, Dataflow, DesignPoint, EvalEngine, EvalQuery, EvalStats,
+};
 
 use crate::{
     ActionSpace, Assignment, ConstraintKind, Deployment, LayerAssignment, Objective, PlatformClass,
@@ -12,9 +11,10 @@ use crate::{
 /// Fig. 3 (model, dataflow, objective, constraint, deployment scenario)
 /// plus the cost model and coarse action space.
 ///
-/// Construction goes through [`HwProblem::builder`]. Layer evaluations are
-/// memoized, since searches revisit the same `(layer, dataflow, point)`
-/// triples constantly.
+/// Construction goes through [`HwProblem::builder`]. All layer evaluations
+/// flow through a shared [`EvalEngine`]: they are memoized (searches
+/// revisit the same `(layer, dataflow, point)` triples constantly) and the
+/// batch entry points fan cache misses out over the engine's worker pool.
 #[derive(Debug)]
 pub struct HwProblem {
     model: Model,
@@ -26,9 +26,8 @@ pub struct HwProblem {
     platform: PlatformClass,
     deployment: Deployment,
     actions: ActionSpace,
-    cost_model: CostModel,
     budget: f64,
-    cache: Mutex<HashMap<(usize, Dataflow, u64, u64), CostReport>>,
+    engine: EvalEngine,
 }
 
 impl HwProblem {
@@ -44,6 +43,7 @@ impl HwProblem {
             actions: ActionSpace::paper_default(),
             cost_model: CostModel::default(),
             budget_override: None,
+            threads: None,
         }
     }
 
@@ -92,6 +92,11 @@ impl HwProblem {
         self.budget
     }
 
+    /// The shared evaluation engine (cache + worker pool).
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
+    }
+
     /// Evaluates one layer on one design point (memoized).
     ///
     /// # Panics
@@ -103,22 +108,42 @@ impl HwProblem {
         dataflow: Dataflow,
         point: DesignPoint,
     ) -> CostReport {
-        let key = (layer_idx, dataflow, point.num_pes(), point.tile());
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            return hit.clone();
-        }
-        let layer = &self.model.layers()[layer_idx];
-        let report = self.cost_model.evaluate(layer, dataflow, point);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, report.clone());
-        report
+        self.engine.evaluate_query(EvalQuery {
+            layer: layer_idx,
+            dataflow,
+            point,
+        })
+    }
+
+    /// Evaluates a batch of `(layer, dataflow, point)` triples through the
+    /// engine in one shot; entry `i` answers `queries[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer index is out of range.
+    pub fn evaluate_layer_batch(
+        &self,
+        queries: &[(usize, Dataflow, DesignPoint)],
+    ) -> Vec<CostReport> {
+        let queries: Vec<EvalQuery> = queries
+            .iter()
+            .map(|&(layer, dataflow, point)| EvalQuery {
+                layer,
+                dataflow,
+                point,
+            })
+            .collect();
+        self.engine.evaluate_batch(&queries)
     }
 
     /// Evaluates a complete LP assignment: objective = Σ per-layer
     /// objective, constraint = Σ per-layer constraint (each pipeline stage
     /// owns its silicon). Returns `None` if the budget is violated.
+    ///
+    /// This singleton path keeps the old lazy semantics — it stops issuing
+    /// queries at the first layer that blows the budget — because the RL
+    /// environment calls it once per episode and infeasible episodes are
+    /// the common case in tight-constraint regimes.
     pub fn evaluate_lp(&self, layers: &[LayerAssignment]) -> Option<Assignment> {
         assert_eq!(
             layers.len(),
@@ -140,6 +165,59 @@ impl HwProblem {
             cost,
             constraint_used: used,
         })
+    }
+
+    /// Batch form of [`Self::evaluate_lp`]: every candidate's per-layer
+    /// queries are fused into one engine batch (a GA population of `P`
+    /// candidates over an `n`-layer model becomes a single `P·n`-query
+    /// batch), then reassembled per candidate. Results are bit-identical to
+    /// calling [`Self::evaluate_lp`] in a loop; the only difference is that
+    /// infeasible candidates still price all their layers (the cost of
+    /// dispatching the batch before any budget sum is known).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate does not cover every layer.
+    pub fn evaluate_lp_batch(
+        &self,
+        candidates: &[Vec<LayerAssignment>],
+    ) -> Vec<Option<Assignment>> {
+        let mut queries = Vec::with_capacity(candidates.len() * self.model.len());
+        for layers in candidates {
+            assert_eq!(
+                layers.len(),
+                self.model.len(),
+                "LP assignments cover every layer"
+            );
+            for (idx, la) in layers.iter().enumerate() {
+                queries.push(EvalQuery {
+                    layer: idx,
+                    dataflow: la.dataflow,
+                    point: la.point,
+                });
+            }
+        }
+        let reports = self.engine.evaluate_batch(&queries);
+        candidates
+            .iter()
+            .zip(reports.chunks(self.model.len()))
+            .map(|(layers, reports)| {
+                let mut cost = 0.0;
+                let mut used = 0.0;
+                for report in reports {
+                    cost += self.objective.of(report);
+                    used += self.constraint.of(report);
+                    if used > self.budget {
+                        return None;
+                    }
+                }
+                Some(Assignment {
+                    layers: layers.to_vec(),
+                    cost,
+                    constraint_used: used,
+                })
+            })
+            .collect()
     }
 
     /// Evaluates an LS configuration: one design point shared by every
@@ -164,6 +242,47 @@ impl HwProblem {
         })
     }
 
+    /// Batch form of [`Self::evaluate_ls`]: all configurations' per-layer
+    /// queries run as one engine batch. Results are bit-identical to
+    /// calling [`Self::evaluate_ls`] in a loop.
+    pub fn evaluate_ls_batch(
+        &self,
+        configs: &[(Dataflow, DesignPoint)],
+    ) -> Vec<Option<Assignment>> {
+        let n = self.model.len();
+        let mut queries = Vec::with_capacity(configs.len() * n);
+        for &(dataflow, point) in configs {
+            for idx in 0..n {
+                queries.push(EvalQuery {
+                    layer: idx,
+                    dataflow,
+                    point,
+                });
+            }
+        }
+        let reports = self.engine.evaluate_batch(&queries);
+        configs
+            .iter()
+            .zip(reports.chunks(n))
+            .map(|(&(dataflow, point), reports)| {
+                let mut cost = 0.0;
+                let mut used: f64 = 0.0;
+                for report in reports {
+                    cost += self.objective.of(report);
+                    used = used.max(self.constraint.of(report));
+                }
+                if used > self.budget {
+                    return None;
+                }
+                Some(Assignment {
+                    layers: vec![LayerAssignment { dataflow, point }],
+                    cost,
+                    constraint_used: used,
+                })
+            })
+            .collect()
+    }
+
     /// Per-layer constraint consumption for one assignment (used by the
     /// environment's incremental budget check).
     pub fn layer_constraint(&self, layer_idx: usize, la: LayerAssignment) -> f64 {
@@ -178,29 +297,30 @@ impl HwProblem {
     }
 
     /// Measures `C_max` per Table II: the constraint consumption of the
-    /// whole model at the uniform maximum action pair.
+    /// whole model at the uniform maximum action pair. Runs through the
+    /// engine, so the reports are already memoized when the search starts.
     fn measure_c_max(
-        model: &Model,
+        engine: &EvalEngine,
         dataflow: Option<Dataflow>,
         constraint: ConstraintKind,
         deployment: Deployment,
         actions: &ActionSpace,
-        cost_model: &CostModel,
     ) -> f64 {
         let (max_pe, max_tile) = actions.max_pair();
         let point = DesignPoint::new(max_pe, max_tile).expect("max pair is valid");
         let df = dataflow.unwrap_or(Dataflow::NvdlaStyle);
+        let queries: Vec<EvalQuery> = (0..engine.layers().len())
+            .map(|layer| EvalQuery {
+                layer,
+                dataflow: df,
+                point,
+            })
+            .collect();
+        let reports = engine.evaluate_batch(&queries);
+        let per_layer = reports.iter().map(|r| constraint.of(r));
         match deployment {
-            Deployment::LayerPipelined => model
-                .layers()
-                .iter()
-                .map(|l| constraint.of(&cost_model.evaluate(l, df, point)))
-                .sum(),
-            Deployment::LayerSequential => model
-                .layers()
-                .iter()
-                .map(|l| constraint.of(&cost_model.evaluate(l, df, point)))
-                .fold(0.0, f64::max),
+            Deployment::LayerPipelined => per_layer.sum(),
+            Deployment::LayerSequential => per_layer.fold(0.0, f64::max),
         }
     }
 
@@ -221,7 +341,13 @@ impl HwProblem {
 
     /// Number of memoized evaluations (observability for tests/benches).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.engine.cache_len()
+    }
+
+    /// Cumulative cache hit/miss counters (observability; snapshot with
+    /// [`EvalStats::since`] to report per-run deltas).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.engine.stats()
     }
 }
 
@@ -237,6 +363,7 @@ pub struct HwProblemBuilder {
     actions: ActionSpace,
     cost_model: CostModel,
     budget_override: Option<f64>,
+    threads: Option<usize>,
 }
 
 impl HwProblemBuilder {
@@ -290,15 +417,26 @@ impl HwProblemBuilder {
         self
     }
 
+    /// Overrides the evaluation engine's worker count (default: the
+    /// `CONFX_THREADS` environment variable, falling back to the machine's
+    /// available parallelism). Results are bit-identical for every thread
+    /// count; this only changes wall time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Finalizes the problem, measuring `C_max` and deriving the budget.
     pub fn build(self) -> HwProblem {
+        let threads = self.threads.unwrap_or_else(maestro::threads_from_env);
+        let engine =
+            EvalEngine::with_threads(self.cost_model, self.model.layers().to_vec(), threads);
         let c_max = HwProblem::measure_c_max(
-            &self.model,
+            &engine,
             self.dataflow,
             self.constraint,
             self.deployment,
             &self.actions,
-            &self.cost_model,
         );
         let budget = self
             .budget_override
@@ -311,9 +449,8 @@ impl HwProblemBuilder {
             platform: self.platform,
             deployment: self.deployment,
             actions: self.actions,
-            cost_model: self.cost_model,
             budget,
-            cache: Mutex::new(HashMap::new()),
+            engine,
         }
     }
 }

@@ -1,9 +1,9 @@
 use std::time::{Duration, Instant};
 
-use maestro::DesignPoint;
+use maestro::{Dataflow, DesignPoint, EvalStats};
 use opt_methods::{
-    BayesianOpt, FineSpace, GeneticAlgorithm, GridSearch, LocalGa, LocalGaConfig, Optimizer,
-    RandomSearch, SearchSpace, SimulatedAnnealing,
+    BatchEval, BayesianOpt, FineSpace, GeneticAlgorithm, GridSearch, LocalGa, LocalGaConfig,
+    Optimizer, RandomSearch, SearchSpace, SimulatedAnnealing,
 };
 use rl_core::{
     A2c, A2cConfig, Acktr, AcktrConfig, Agent, Ddpg, DdpgConfig, Env, PolicyBackboneKind, Ppo,
@@ -132,6 +132,9 @@ pub struct RlSearchResult {
     pub wall_time: Duration,
     /// Trainable scalar parameters (0 for classical baselines).
     pub param_count: usize,
+    /// Evaluation-engine counters for this run (cache hits vs. fresh
+    /// cost-model evaluations), so speedups are measurable per method.
+    pub eval_stats: EvalStats,
 }
 
 impl RlSearchResult {
@@ -197,6 +200,7 @@ pub fn run_rl_search_with_reward(
     let mut rng = Rng::seed_from_u64(seed);
     let mut env = HwEnv::with_reward(problem, reward);
     let mut agent = make_agent(kind, &env, &mut rng);
+    let stats_at_start = problem.eval_stats();
     let start = Instant::now();
     let mut result = RlSearchResult {
         algorithm: kind.name().to_string(),
@@ -206,6 +210,7 @@ pub fn run_rl_search_with_reward(
         epochs_to_converge: None,
         wall_time: Duration::ZERO,
         param_count: agent.param_count(),
+        eval_stats: EvalStats::default(),
     };
     for _ in 0..budget.epochs {
         let report = agent.train_epoch(&mut env, &mut rng);
@@ -223,7 +228,76 @@ pub fn run_rl_search_with_reward(
             .push(result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
     }
     result.wall_time = start.elapsed();
+    result.eval_stats = problem.eval_stats().since(stats_at_start);
     result.finish()
+}
+
+/// Decodes a coarse LP genome into per-layer assignments (no evaluation).
+fn decode_lp_layers(problem: &HwProblem, genome: &[usize]) -> Vec<LayerAssignment> {
+    let space = problem.actions();
+    let per_layer = if problem.is_mix() { 3 } else { 2 };
+    genome
+        .chunks(per_layer)
+        .map(|chunk| {
+            let dataflow = if problem.is_mix() {
+                Dataflow::from_index(chunk[2]).expect("df gene in range")
+            } else {
+                problem.dataflow().expect("fixed dataflow")
+            };
+            LayerAssignment {
+                dataflow,
+                point: DesignPoint::new(space.pe(chunk[0]), space.tile(chunk[1]))
+                    .expect("levels positive"),
+            }
+        })
+        .collect()
+}
+
+/// Decodes a coarse LS genome into its uniform configuration.
+fn decode_ls_config(problem: &HwProblem, genome: &[usize]) -> (Dataflow, DesignPoint) {
+    let space = problem.actions();
+    let dataflow = if problem.is_mix() {
+        Dataflow::from_index(genome[2]).expect("df gene in range")
+    } else {
+        problem.dataflow().expect("fixed dataflow")
+    };
+    let point = DesignPoint::new(space.pe(genome[0]), space.tile(genome[1])).expect("positive");
+    (dataflow, point)
+}
+
+/// Batched coarse-genome objective: decodes a whole population and prices
+/// it through the problem's evaluation engine in one fused batch.
+struct CoarseBatchObjective<'a> {
+    problem: &'a HwProblem,
+}
+
+impl BatchEval<usize> for CoarseBatchObjective<'_> {
+    fn eval_batch(&mut self, genomes: &[Vec<usize>]) -> Vec<Option<f64>> {
+        match self.problem.deployment() {
+            Deployment::LayerPipelined => {
+                let candidates: Vec<Vec<LayerAssignment>> = genomes
+                    .iter()
+                    .map(|g| decode_lp_layers(self.problem, g))
+                    .collect();
+                self.problem
+                    .evaluate_lp_batch(&candidates)
+                    .into_iter()
+                    .map(|a| a.map(|a| a.cost))
+                    .collect()
+            }
+            Deployment::LayerSequential => {
+                let configs: Vec<(Dataflow, DesignPoint)> = genomes
+                    .iter()
+                    .map(|g| decode_ls_config(self.problem, g))
+                    .collect();
+                self.problem
+                    .evaluate_ls_batch(&configs)
+                    .into_iter()
+                    .map(|a| a.map(|a| a.cost))
+                    .collect()
+            }
+        }
+    }
 }
 
 /// Runs one classical baseline over the same design space and budget.
@@ -258,22 +332,25 @@ pub fn run_baseline(
         dims.push(if g % per_layer == 2 { 3 } else { levels });
     }
     let space = SearchSpace::new(dims);
-    let eval = |genome: &[usize]| -> Option<f64> { decode_coarse(problem, genome).map(|a| a.cost) };
+    let mut eval = CoarseBatchObjective { problem };
+    let stats_at_start = problem.eval_stats();
     let start = Instant::now();
     let outcome = match kind {
-        BaselineKind::Grid => GridSearch::default().run(&space, budget.epochs, eval, &mut rng),
-        BaselineKind::Random => RandomSearch.run(&space, budget.epochs, eval, &mut rng),
+        BaselineKind::Grid => {
+            GridSearch::default().run_batch(&space, budget.epochs, &mut eval, &mut rng)
+        }
+        BaselineKind::Random => RandomSearch.run_batch(&space, budget.epochs, &mut eval, &mut rng),
         BaselineKind::SimulatedAnnealing => {
-            SimulatedAnnealing::default().run(&space, budget.epochs, eval, &mut rng)
+            SimulatedAnnealing::default().run_batch(&space, budget.epochs, &mut eval, &mut rng)
         }
         BaselineKind::Genetic => {
-            GeneticAlgorithm::default().run(&space, budget.epochs, eval, &mut rng)
+            GeneticAlgorithm::default().run_batch(&space, budget.epochs, &mut eval, &mut rng)
         }
         BaselineKind::Bayesian => {
             // Cap the GP budget: its per-iteration cost is cubic, and the
             // paper's own runs show BO spending far longer per sample.
             let bo_budget = budget.epochs.min(400);
-            BayesianOpt::default().run(&space, bo_budget, eval, &mut rng)
+            BayesianOpt::default().run_batch(&space, bo_budget, &mut eval, &mut rng)
         }
     };
     let wall_time = start.elapsed();
@@ -290,41 +367,17 @@ pub fn run_baseline(
         epochs_to_converge: None,
         wall_time,
         param_count: 0,
+        eval_stats: problem.eval_stats().since(stats_at_start),
     }
     .finish()
 }
 
 /// Decodes a coarse genome (level indices) into an evaluated assignment.
 fn decode_coarse(problem: &HwProblem, genome: &[usize]) -> Option<Assignment> {
-    let space = problem.actions();
     match problem.deployment() {
-        Deployment::LayerPipelined => {
-            let per_layer = if problem.is_mix() { 3 } else { 2 };
-            let layers: Vec<LayerAssignment> = genome
-                .chunks(per_layer)
-                .map(|chunk| {
-                    let dataflow = if problem.is_mix() {
-                        maestro::Dataflow::from_index(chunk[2]).expect("df gene in range")
-                    } else {
-                        problem.dataflow().expect("fixed dataflow")
-                    };
-                    LayerAssignment {
-                        dataflow,
-                        point: DesignPoint::new(space.pe(chunk[0]), space.tile(chunk[1]))
-                            .expect("levels positive"),
-                    }
-                })
-                .collect();
-            problem.evaluate_lp(&layers)
-        }
+        Deployment::LayerPipelined => problem.evaluate_lp(&decode_lp_layers(problem, genome)),
         Deployment::LayerSequential => {
-            let dataflow = if problem.is_mix() {
-                maestro::Dataflow::from_index(genome[2]).expect("df gene in range")
-            } else {
-                problem.dataflow().expect("fixed dataflow")
-            };
-            let point =
-                DesignPoint::new(space.pe(genome[0]), space.tile(genome[1])).expect("positive");
+            let (dataflow, point) = decode_ls_config(problem, genome);
             problem.evaluate_ls(dataflow, point)
         }
     }
@@ -341,6 +394,61 @@ pub struct FineTuneResult {
     pub evaluations: usize,
     /// Wall-clock time.
     pub wall_time: Duration,
+    /// Evaluation-engine counters for the fine stage.
+    pub eval_stats: EvalStats,
+}
+
+/// Decodes a fine genome (interleaved PE count / tile pairs) into
+/// per-layer assignments under the fixed per-layer dataflows.
+fn decode_fine_layers(genome: &[i64], dataflows: &[Dataflow]) -> Vec<LayerAssignment> {
+    genome
+        .chunks(2)
+        .zip(dataflows)
+        .map(|(chunk, &dataflow)| LayerAssignment {
+            dataflow,
+            point: DesignPoint::new(chunk[0] as u64, chunk[1] as u64).expect("bounds start at 1"),
+        })
+        .collect()
+}
+
+/// Batched fine-genome objective for the local GA: decodes each genome
+/// into per-layer assignments and prices whole generations through the
+/// engine at once.
+struct FineBatchObjective<'a> {
+    problem: &'a HwProblem,
+    dataflows: &'a [Dataflow],
+}
+
+impl BatchEval<i64> for FineBatchObjective<'_> {
+    fn eval_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Option<f64>> {
+        match self.problem.deployment() {
+            Deployment::LayerPipelined => {
+                let candidates: Vec<Vec<LayerAssignment>> = genomes
+                    .iter()
+                    .map(|g| decode_fine_layers(g, self.dataflows))
+                    .collect();
+                self.problem
+                    .evaluate_lp_batch(&candidates)
+                    .into_iter()
+                    .map(|a| a.map(|a| a.cost))
+                    .collect()
+            }
+            Deployment::LayerSequential => {
+                let configs: Vec<(Dataflow, DesignPoint)> = genomes
+                    .iter()
+                    .map(|g| {
+                        let la = &decode_fine_layers(g, self.dataflows)[0];
+                        (la.dataflow, la.point)
+                    })
+                    .collect();
+                self.problem
+                    .evaluate_ls_batch(&configs)
+                    .into_iter()
+                    .map(|a| a.map(|a| a.cost))
+                    .collect()
+            }
+        }
+    }
 }
 
 /// Fine-tunes a coarse assignment with the local GA on the fine-grained
@@ -367,38 +475,18 @@ pub fn fine_tune(
         init.push(la.point.tile() as i64);
     }
     let space = FineSpace::new(lo, hi);
-    let dataflows: Vec<maestro::Dataflow> = coarse.layers.iter().map(|l| l.dataflow).collect();
-    let eval = |genome: &[i64]| -> Option<f64> {
-        let layers: Vec<LayerAssignment> = genome
-            .chunks(2)
-            .zip(&dataflows)
-            .map(|(chunk, &dataflow)| LayerAssignment {
-                dataflow,
-                point: DesignPoint::new(chunk[0] as u64, chunk[1] as u64)
-                    .expect("bounds start at 1"),
-            })
-            .collect();
-        match problem.deployment() {
-            Deployment::LayerPipelined => problem.evaluate_lp(&layers).map(|a| a.cost),
-            Deployment::LayerSequential => problem
-                .evaluate_ls(layers[0].dataflow, layers[0].point)
-                .map(|a| a.cost),
-        }
+    let dataflows: Vec<Dataflow> = coarse.layers.iter().map(|l| l.dataflow).collect();
+    let mut eval = FineBatchObjective {
+        problem,
+        dataflows: &dataflows,
     };
+    let stats_at_start = problem.eval_stats();
     let start = Instant::now();
     let ga = LocalGa::new(LocalGaConfig::default());
-    let outcome = ga.run(&space, &init, evaluations, eval, &mut rng);
+    let outcome = ga.run_batch(&space, &init, evaluations, &mut eval, &mut rng);
     let wall_time = start.elapsed();
     let best = outcome.best.as_ref().map(|(genome, _)| {
-        let layers: Vec<LayerAssignment> = genome
-            .chunks(2)
-            .zip(&dataflows)
-            .map(|(chunk, &dataflow)| LayerAssignment {
-                dataflow,
-                point: DesignPoint::new(chunk[0] as u64, chunk[1] as u64)
-                    .expect("bounds start at 1"),
-            })
-            .collect();
+        let layers = decode_fine_layers(genome, &dataflows);
         match problem.deployment() {
             Deployment::LayerPipelined => problem.evaluate_lp(&layers),
             Deployment::LayerSequential => problem.evaluate_ls(layers[0].dataflow, layers[0].point),
@@ -410,6 +498,7 @@ pub fn fine_tune(
         trace: outcome.trace,
         evaluations: outcome.evaluations,
         wall_time,
+        eval_stats: problem.eval_stats().since(stats_at_start),
     }
 }
 

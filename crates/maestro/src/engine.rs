@@ -1,0 +1,430 @@
+//! Parallel, memoized cost-evaluation engine.
+//!
+//! Every optimizer in the workspace — RL rollouts, the classical baselines,
+//! the local fine-tuning GA, and the table/figure binaries — is bottlenecked
+//! on [`CostModel::evaluate`] calls, and all of them revisit the same
+//! `(layer, dataflow, design point)` triples constantly. [`EvalEngine`]
+//! centralizes those queries behind the [`CostOracle`] trait and adds two
+//! orthogonal accelerations:
+//!
+//! 1. **A sharded memo cache.** Results are keyed on the full query triple
+//!    (exact match, the same bit-exact semantics the golden-cost suite
+//!    freezes) and striped over [`SHARD_COUNT`] mutexes so concurrent
+//!    lookups rarely contend.
+//! 2. **A scoped worker pool.** [`CostOracle::evaluate_batch`] fans unique
+//!    cache misses out over `CONFX_THREADS` `std::thread` workers that pull
+//!    from a shared atomic work index (work stealing in its simplest form)
+//!    and send `(submission index, report)` pairs back over a channel; the
+//!    caller reassembles results *by submission index*, so the output order
+//!    — and therefore every downstream trace — is independent of thread
+//!    scheduling.
+//!
+//! Determinism is structural, not incidental: the cost model is a pure
+//! function, cache pre-pass and counter updates happen on the calling
+//! thread, and parallel workers only ever compute disjoint entries of the
+//! result vector. A batch evaluated with 8 threads is bit-identical to the
+//! same batch evaluated serially (the seeded-determinism suite enforces
+//! this end to end).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CostModel, CostReport, Dataflow, DesignPoint, Layer};
+
+/// Number of cache stripes. Contention, not capacity, sets this: 16 shards
+/// keep the expected number of workers per mutex below one for any thread
+/// count the engine will realistically run with.
+pub const SHARD_COUNT: usize = 16;
+
+/// Environment variable overriding the engine's worker count.
+pub const THREADS_ENV: &str = "CONFX_THREADS";
+
+/// One cost query: a layer (by index into the engine's layer table), a
+/// dataflow style, and a design point. `Copy` and 32 bytes wide, so batches
+/// move through channels and caches cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvalQuery {
+    /// Index into the layer table the engine was built with.
+    pub layer: usize,
+    /// Dataflow style to evaluate under.
+    pub dataflow: Dataflow,
+    /// Hardware design point.
+    pub point: DesignPoint,
+}
+
+/// Cache observability counters.
+///
+/// The accounting is *evaluation-centric*: `misses` counts fresh
+/// [`CostModel::evaluate`] calls, `hits` counts queries served without one
+/// (from the memo cache, or from a duplicate earlier in the same batch).
+/// `hits + misses` therefore always equals the number of queries issued,
+/// and `misses` alone is the number of cost-model invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Queries answered without running the cost model.
+    pub hits: u64,
+    /// Queries that ran the cost model (== fresh evaluations).
+    pub misses: u64,
+}
+
+impl EvalStats {
+    /// Total queries issued.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries served from the cache (0 when no queries ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Counter delta since an earlier snapshot (for per-run reporting).
+    pub fn since(&self, earlier: EvalStats) -> EvalStats {
+        EvalStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A source of cost reports for `(layer, dataflow, design point)` queries.
+///
+/// The trait is the seam between search code and the evaluation substrate:
+/// optimizers talk to a `CostOracle`, and whether answers come from a fresh
+/// model run, a memo cache, or a worker pool is the oracle's business.
+pub trait CostOracle {
+    /// Evaluates a single query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.layer` is out of range for the oracle's layer table.
+    fn evaluate_query(&self, query: EvalQuery) -> CostReport;
+
+    /// Evaluates a batch; entry `i` of the result answers `queries[i]`.
+    ///
+    /// The default implementation is the serial reference semantics every
+    /// implementation must match bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's layer index is out of range.
+    fn evaluate_batch(&self, queries: &[EvalQuery]) -> Vec<CostReport> {
+        queries.iter().map(|&q| self.evaluate_query(q)).collect()
+    }
+
+    /// Cumulative hit/miss counters.
+    fn stats(&self) -> EvalStats;
+}
+
+/// The workspace's shared evaluation engine: memo cache + worker pool over
+/// one [`CostModel`] and a fixed layer table. See the module docs for the
+/// determinism argument.
+#[derive(Debug)]
+pub struct EvalEngine {
+    model: CostModel,
+    layers: Vec<Layer>,
+    threads: usize,
+    shards: Vec<Mutex<HashMap<EvalQuery, CostReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Creates an engine with the worker count resolved from
+    /// `CONFX_THREADS` (falling back to the machine's available
+    /// parallelism, capped at 8).
+    pub fn new(model: CostModel, layers: Vec<Layer>) -> Self {
+        Self::with_threads(model, layers, threads_from_env())
+    }
+
+    /// Creates an engine with an explicit worker count (`0` is treated as
+    /// `1`). Tests use this to compare thread counts in-process.
+    pub fn with_threads(model: CostModel, layers: Vec<Layer>, threads: usize) -> Self {
+        EvalEngine {
+            model,
+            layers,
+            threads: threads.max(1),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cost model being memoized.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The layer table queries index into.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Worker threads used for batch misses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of distinct memoized queries across all shards.
+    pub fn cache_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    fn shard_of(&self, query: &EvalQuery) -> usize {
+        let mut h = DefaultHasher::new();
+        query.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    fn cache_get(&self, query: &EvalQuery) -> Option<CostReport> {
+        self.shards[self.shard_of(query)]
+            .lock()
+            .expect("cache shard lock")
+            .get(query)
+            .cloned()
+    }
+
+    fn cache_insert(&self, query: EvalQuery, report: CostReport) {
+        self.shards[self.shard_of(&query)]
+            .lock()
+            .expect("cache shard lock")
+            .insert(query, report);
+    }
+
+    /// Runs the cost model directly, bypassing the cache and counters.
+    fn evaluate_uncached(&self, query: &EvalQuery) -> CostReport {
+        let layer = &self.layers[query.layer];
+        self.model.evaluate(layer, query.dataflow, query.point)
+    }
+
+    /// Evaluates the deduplicated miss list, in parallel when it pays.
+    ///
+    /// Workers claim indices from a shared atomic counter and ship
+    /// `(index, report)` pairs back over a channel; reassembly by index on
+    /// the calling thread makes the result order scheduling-independent.
+    fn evaluate_pending(&self, pending: &[EvalQuery]) -> Vec<CostReport> {
+        if self.threads <= 1 || pending.len() < 2 {
+            return pending.iter().map(|q| self.evaluate_uncached(q)).collect();
+        }
+        let workers = self.threads.min(pending.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, CostReport)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    let report = self.evaluate_uncached(&pending[i]);
+                    if tx.send((i, report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<CostReport>> = vec![None; pending.len()];
+            for (i, report) in rx {
+                out[i] = Some(report);
+            }
+            out.into_iter()
+                .map(|r| r.expect("every index claimed by exactly one worker"))
+                .collect()
+        })
+    }
+}
+
+impl CostOracle for EvalEngine {
+    fn evaluate_query(&self, query: EvalQuery) -> CostReport {
+        if let Some(report) = self.cache_get(&query) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return report;
+        }
+        let report = self.evaluate_uncached(&query);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_insert(query, report.clone());
+        report
+    }
+
+    fn evaluate_batch(&self, queries: &[EvalQuery]) -> Vec<CostReport> {
+        // Pass 1 (calling thread): resolve cache hits and deduplicate the
+        // misses, remembering which result slots each unique miss feeds.
+        let mut results: Vec<Option<CostReport>> = vec![None; queries.len()];
+        let mut pending: Vec<EvalQuery> = Vec::new();
+        let mut pending_index: HashMap<EvalQuery, usize> = HashMap::new();
+        let mut waiting: Vec<(usize, usize)> = Vec::new(); // (slot, pending idx)
+        let mut cache_hits = 0u64;
+        for (slot, &query) in queries.iter().enumerate() {
+            if let Some(report) = self.cache_get(&query) {
+                results[slot] = Some(report);
+                cache_hits += 1;
+            } else {
+                let pi = *pending_index.entry(query).or_insert_with(|| {
+                    pending.push(query);
+                    pending.len() - 1
+                });
+                waiting.push((slot, pi));
+            }
+        }
+        // Pass 2 (worker pool): evaluate each unique miss exactly once.
+        let fresh = self.evaluate_pending(&pending);
+        // Duplicates of an in-batch miss are served without a model run, so
+        // they count as hits; `misses` stays equal to fresh evaluations.
+        let dup_hits = (waiting.len() - pending.len()) as u64;
+        self.hits
+            .fetch_add(cache_hits + dup_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        for (query, report) in pending.iter().zip(&fresh) {
+            self.cache_insert(*query, report.clone());
+        }
+        for (slot, pi) in waiting {
+            results[slot] = Some(fresh[pi].clone());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is a hit or waits on a pending entry"))
+            .collect()
+    }
+
+    fn stats(&self) -> EvalStats {
+        EvalStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolves the worker count: `CONFX_THREADS` if set and positive, else the
+/// machine's available parallelism capped at 8 (cost evaluations are
+/// microsecond-scale, so more workers than that just pay scheduling tax).
+pub fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layers() -> Vec<Layer> {
+        vec![
+            Layer::conv2d("c", 64, 32, 28, 28, 3, 3, 1).unwrap(),
+            Layer::depthwise("d", 96, 28, 28, 3, 3, 1).unwrap(),
+            Layer::gemm("g", 256, 16, 512).unwrap(),
+        ]
+    }
+
+    fn q(layer: usize, df: Dataflow, p: u64, t: u64) -> EvalQuery {
+        EvalQuery {
+            layer,
+            dataflow: df,
+            point: DesignPoint::new(p, t).unwrap(),
+        }
+    }
+
+    #[test]
+    fn batch_matches_direct_model_evaluation() {
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 4);
+        let queries = vec![
+            q(0, Dataflow::NvdlaStyle, 16, 4),
+            q(1, Dataflow::EyerissStyle, 64, 2),
+            q(2, Dataflow::ShiDianNaoStyle, 128, 8),
+            q(0, Dataflow::NvdlaStyle, 16, 4), // duplicate
+        ];
+        let reports = engine.evaluate_batch(&queries);
+        let model = CostModel::default();
+        let table = layers();
+        for (query, report) in queries.iter().zip(&reports) {
+            let fresh = model.evaluate(&table[query.layer], query.dataflow, query.point);
+            assert_eq!(report, &fresh);
+        }
+        assert_eq!(reports[0], reports[3]);
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_batches() {
+        let queries: Vec<EvalQuery> = (0..60)
+            .map(|i| {
+                q(
+                    i % 3,
+                    Dataflow::ALL[i % Dataflow::ALL.len()],
+                    1 + (i as u64 * 7) % 512,
+                    1 + (i as u64 * 3) % 24,
+                )
+            })
+            .collect();
+        let serial = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        let reference = serial.evaluate_batch(&queries);
+        for threads in [2, 4, 8] {
+            let engine = EvalEngine::with_threads(CostModel::default(), layers(), threads);
+            let parallel = engine.evaluate_batch(&queries);
+            assert_eq!(reference, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn singleton_and_batch_paths_share_the_cache() {
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 2);
+        let query = q(1, Dataflow::NvdlaStyle, 32, 2);
+        let a = engine.evaluate_query(query);
+        let b = engine.evaluate_batch(&[query]);
+        assert_eq!(a, b[0]);
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn stats_account_for_every_query() {
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        let a = q(0, Dataflow::NvdlaStyle, 8, 2);
+        let b = q(2, Dataflow::EyerissStyle, 8, 2);
+        // a is missed once, duplicated in-batch (hit), b missed.
+        engine.evaluate_batch(&[a, a, b]);
+        assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 2 });
+        // Everything now cached.
+        engine.evaluate_batch(&[a, b, a]);
+        assert_eq!(engine.stats(), EvalStats { hits: 4, misses: 2 });
+        assert_eq!(engine.stats().total(), 6);
+        assert!((engine.stats().hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = EvalEngine::new(CostModel::default(), layers());
+        assert!(engine.evaluate_batch(&[]).is_empty());
+        assert_eq!(engine.stats(), EvalStats::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_layer_panics() {
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        engine.evaluate_query(q(99, Dataflow::NvdlaStyle, 1, 1));
+    }
+}

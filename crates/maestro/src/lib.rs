@@ -40,6 +40,7 @@
 
 mod dataflow;
 mod design;
+mod engine;
 mod error;
 mod estimate;
 mod layer;
@@ -49,6 +50,7 @@ mod tech;
 
 pub use dataflow::Dataflow;
 pub use design::DesignPoint;
+pub use engine::{threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, THREADS_ENV};
 pub use error::MaestroError;
 pub use estimate::CostModel;
 pub use layer::{Layer, LayerKind};

@@ -1,0 +1,113 @@
+//! Memo-cache correctness for [`EvalEngine`]: whatever mix of duplicate,
+//! permuted, cached, and fresh queries a batch contains, the answers must
+//! be bit-identical to evaluating each query directly on a fresh
+//! [`CostModel`] — and the hit/miss counters must account for every query
+//! exactly.
+
+use maestro::{
+    CostModel, CostOracle, Dataflow, DesignPoint, EvalEngine, EvalQuery, EvalStats, Layer,
+};
+use proptest::prelude::*;
+
+fn layer_table() -> Vec<Layer> {
+    vec![
+        Layer::conv2d("c0", 64, 32, 28, 28, 3, 3, 1).unwrap(),
+        Layer::conv2d("c1", 96, 24, 56, 56, 5, 5, 2).unwrap(),
+        Layer::depthwise("dw", 96, 28, 28, 3, 3, 1).unwrap(),
+        Layer::gemm("fc", 256, 16, 512).unwrap(),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = EvalQuery> {
+    // Small ranges on purpose: batches drawn from them collide often, so
+    // the duplicate-handling path is exercised on nearly every case.
+    (0usize..4, 0usize..3, 1u64..64, 1u64..12).prop_map(|(layer, df, pes, tile)| EvalQuery {
+        layer,
+        dataflow: Dataflow::from_index(df).expect("index < 3"),
+        point: DesignPoint::new(pes, tile).expect("positive"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A cached, possibly parallel `evaluate_batch` equals a fresh serial
+    /// evaluation of every query — including duplicates within the batch
+    /// and a permuted re-submission served entirely from the cache.
+    #[test]
+    fn cached_batch_equals_fresh_serial_evaluation(
+        queries in proptest::collection::vec(arb_query(), 1..48),
+        threads in 1usize..5,
+    ) {
+        let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), threads);
+        let fresh_model = CostModel::default();
+        let table = layer_table();
+        let fresh = |q: &EvalQuery| fresh_model.evaluate(&table[q.layer], q.dataflow, q.point);
+
+        let batch = engine.evaluate_batch(&queries);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, report) in queries.iter().zip(&batch) {
+            prop_assert_eq!(report, &fresh(q));
+        }
+
+        // Permuted re-submission: every answer must come from the cache
+        // (no new misses) and still match a fresh serial evaluation.
+        let permuted: Vec<EvalQuery> = queries.iter().rev().copied().collect();
+        let misses_before = engine.stats().misses;
+        let again = engine.evaluate_batch(&permuted);
+        prop_assert_eq!(engine.stats().misses, misses_before, "cache failed to serve a repeat");
+        for (q, report) in permuted.iter().zip(&again) {
+            prop_assert_eq!(report, &fresh(q));
+        }
+    }
+
+    /// Counters are exact for arbitrary batches: misses equal the number
+    /// of distinct never-seen queries, hits cover everything else, and the
+    /// totals add up to the number of queries issued.
+    #[test]
+    fn counters_account_for_every_query(
+        queries in proptest::collection::vec(arb_query(), 1..48),
+    ) {
+        let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), 1);
+        let distinct: std::collections::HashSet<EvalQuery> = queries.iter().copied().collect();
+        engine.evaluate_batch(&queries);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.misses, distinct.len() as u64);
+        prop_assert_eq!(stats.total(), queries.len() as u64);
+        prop_assert_eq!(engine.cache_len(), distinct.len());
+
+        // A full repeat adds only hits.
+        engine.evaluate_batch(&queries);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.misses, distinct.len() as u64);
+        prop_assert_eq!(stats.total(), 2 * queries.len() as u64);
+    }
+}
+
+/// Deterministic spot-check that the counters are *exact*, not just
+/// consistent: a batch with one in-batch duplicate and one repeat batch.
+#[test]
+fn hit_miss_counters_are_exact() {
+    let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), 2);
+    let a = EvalQuery {
+        layer: 0,
+        dataflow: Dataflow::NvdlaStyle,
+        point: DesignPoint::new(16, 4).unwrap(),
+    };
+    let b = EvalQuery {
+        layer: 3,
+        dataflow: Dataflow::ShiDianNaoStyle,
+        point: DesignPoint::new(128, 8).unwrap(),
+    };
+    // a: miss; a again in-batch: hit; b: miss.
+    engine.evaluate_batch(&[a, a, b]);
+    assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 2 });
+    // Singleton path shares cache and counters.
+    engine.evaluate_query(a);
+    assert_eq!(engine.stats(), EvalStats { hits: 2, misses: 2 });
+    // Full repeat batch: three hits, no new misses.
+    engine.evaluate_batch(&[b, a, a]);
+    assert_eq!(engine.stats(), EvalStats { hits: 5, misses: 2 });
+    assert_eq!(engine.stats().total(), 7);
+    assert_eq!(engine.cache_len(), 2);
+}

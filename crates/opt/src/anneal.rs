@@ -1,9 +1,13 @@
 use rand::Rng as _;
 
-use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+use crate::{BatchEval, Optimizer, Rng, SearchOutcome, SearchSpace};
 
 /// Simulated annealing on the discrete integer space (§IV-A3: temperature
 /// 10, step size 1), with geometric cooling.
+///
+/// Each proposal depends on the accept/reject of the previous one, so SA
+/// is inherently sequential: it degrades to singleton batches (still
+/// served from the evaluation cache, just never fanned out).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatedAnnealing {
     /// Initial temperature.
@@ -37,21 +41,26 @@ impl SimulatedAnnealing {
 }
 
 impl Optimizer for SimulatedAnnealing {
-    fn run(
+    fn run_batch(
         &self,
         space: &SearchSpace,
         budget: usize,
-        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        eval: &mut dyn BatchEval<usize>,
         rng: &mut Rng,
     ) -> SearchOutcome {
+        let mut eval1 = |g: &Vec<usize>| {
+            eval.eval_batch(std::slice::from_ref(g))
+                .pop()
+                .expect("one genome in, one cost out")
+        };
         let mut outcome = SearchOutcome::new();
         let mut current = space.sample(rng);
-        let mut current_cost = eval(&current);
+        let mut current_cost = eval1(&current);
         outcome.record(&current, current_cost);
         let mut temp = self.temperature;
         for _ in 1..budget {
             let cand = self.neighbor(&current, space, rng);
-            let cand_cost = eval(&cand);
+            let cand_cost = eval1(&cand);
             outcome.record(&cand, cand_cost);
             let accept = match (current_cost, cand_cost) {
                 // Infeasible -> feasible is always an improvement.

@@ -1,6 +1,6 @@
 use rand::Rng as _;
 
-use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+use crate::{BatchEval, Optimizer, Rng, SearchOutcome, SearchSpace};
 
 /// Bayesian optimization with a Gaussian-process surrogate (RBF kernel)
 /// and expected-improvement acquisition, adapted to the discrete integer
@@ -166,19 +166,23 @@ fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
 }
 
 impl Optimizer for BayesianOpt {
-    fn run(
+    fn run_batch(
         &self,
         space: &SearchSpace,
         budget: usize,
-        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        eval: &mut dyn BatchEval<usize>,
         rng: &mut Rng,
     ) -> SearchOutcome {
         let mut outcome = SearchOutcome::new();
         let mut observed: Vec<(Vec<usize>, Option<f64>)> = Vec::new();
-        // Warmup with random samples.
-        for _ in 0..self.warmup.min(budget) {
-            let g = space.sample(rng);
-            let c = eval(&g);
+        // Warmup samples are independent of each other: one batch. After
+        // that the GP refits per observation, so acquisition is sequential
+        // and each proposal is a singleton batch.
+        let warmup: Vec<Vec<usize>> = (0..self.warmup.min(budget))
+            .map(|_| space.sample(rng))
+            .collect();
+        let costs = eval.eval_batch(&warmup);
+        for (g, c) in warmup.into_iter().zip(costs) {
             outcome.record(&g, c);
             observed.push((g, c));
         }
@@ -233,7 +237,10 @@ impl Optimizer for BayesianOpt {
                 }
             }
             let (genome, _) = best_cand.expect("candidates > 0");
-            let cost = eval(&genome);
+            let cost = eval
+                .eval_batch(std::slice::from_ref(&genome))
+                .pop()
+                .expect("one genome in, one cost out");
             outcome.record(&genome, cost);
             observed.push((genome, cost));
         }

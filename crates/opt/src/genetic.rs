@@ -1,11 +1,17 @@
 use rand::Rng as _;
 
-use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+use crate::{BatchEval, Optimizer, Rng, SearchOutcome, SearchSpace};
 
 /// Generic genetic algorithm (§IV-A3: population 100, mutation/crossover
 /// rate 0.05) with tournament selection, uniform crossover, and per-gene
 /// resampling mutation. This is the *baseline* GA; the specialized
 /// fine-tuning GA lives in [`crate::LocalGa`].
+///
+/// Whole generations evaluate as one batch: selection draws only from the
+/// *previous* generation, so children within a generation never depend on
+/// each other's fitness, and breeding all of them before pricing any
+/// leaves the RNG stream — and therefore the search trajectory —
+/// bit-identical to the interleaved serial loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneticAlgorithm {
     /// Individuals per generation.
@@ -56,20 +62,58 @@ impl GeneticAlgorithm {
     }
 }
 
+impl GeneticAlgorithm {
+    /// Breeds one child from the previous generation (tournament parents,
+    /// uniform crossover, per-gene resampling mutation).
+    fn breed(&self, population: &[Individual], space: &SearchSpace, rng: &mut Rng) -> Vec<usize> {
+        let p1 = Self::tournament(population, rng).genome.clone();
+        let p2 = Self::tournament(population, rng).genome.clone();
+        let mut child = p1.clone();
+        if rng.gen_bool(self.crossover_rate.clamp(0.0, 1.0)) {
+            for (c, g2) in child.iter_mut().zip(&p2) {
+                if rng.gen_bool(0.5) {
+                    *c = *g2;
+                }
+            }
+        }
+        for (i, c) in child.iter_mut().enumerate() {
+            if rng.gen_bool(self.mutation_rate.clamp(0.0, 1.0)) {
+                *c = rng.gen_range(0..space.cardinality(i));
+            }
+        }
+        // With the paper's low rates (0.05/0.05) most children would
+        // be exact clones of a parent, wasting their evaluation.
+        // Force one gene to a *different* value so every evaluation
+        // explores.
+        if child == p1 || child == p2 {
+            let i = rng.gen_range(0..child.len());
+            let n = space.cardinality(i);
+            if n > 1 {
+                let shift = rng.gen_range(1..n);
+                child[i] = (child[i] + shift) % n;
+            }
+        }
+        child
+    }
+}
+
 impl Optimizer for GeneticAlgorithm {
-    fn run(
+    fn run_batch(
         &self,
         space: &SearchSpace,
         budget: usize,
-        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        eval: &mut dyn BatchEval<usize>,
         rng: &mut Rng,
     ) -> SearchOutcome {
         let mut outcome = SearchOutcome::new();
         let pop_size = self.population.min(budget.max(1));
-        let mut population: Vec<Individual> = (0..pop_size)
-            .map(|_| {
-                let genome = space.sample(rng);
-                let cost = eval(&genome);
+        // The initial population is the first natural batch.
+        let genomes: Vec<Vec<usize>> = (0..pop_size).map(|_| space.sample(rng)).collect();
+        let costs = eval.eval_batch(&genomes);
+        let mut population: Vec<Individual> = genomes
+            .into_iter()
+            .zip(costs)
+            .map(|(genome, cost)| {
                 outcome.record(&genome, cost);
                 Individual { genome, cost }
             })
@@ -87,40 +131,15 @@ impl Optimizer for GeneticAlgorithm {
                 .take(self.elites.min(population.len()))
                 .cloned()
                 .collect();
-            while next.len() < pop_size && outcome.evaluations < budget {
-                let p1 = Self::tournament(&population, rng).genome.clone();
-                let p2 = Self::tournament(&population, rng).genome.clone();
-                let mut child = p1.clone();
-                if rng.gen_bool(self.crossover_rate.clamp(0.0, 1.0)) {
-                    for (c, g2) in child.iter_mut().zip(&p2) {
-                        if rng.gen_bool(0.5) {
-                            *c = *g2;
-                        }
-                    }
-                }
-                for (i, c) in child.iter_mut().enumerate() {
-                    if rng.gen_bool(self.mutation_rate.clamp(0.0, 1.0)) {
-                        *c = rng.gen_range(0..space.cardinality(i));
-                    }
-                }
-                // With the paper's low rates (0.05/0.05) most children would
-                // be exact clones of a parent, wasting their evaluation.
-                // Force one gene to a *different* value so every evaluation
-                // explores.
-                if child == p1 || child == p2 {
-                    let i = rng.gen_range(0..child.len());
-                    let n = space.cardinality(i);
-                    if n > 1 {
-                        let shift = rng.gen_range(1..n);
-                        child[i] = (child[i] + shift) % n;
-                    }
-                }
-                let cost = eval(&child);
-                outcome.record(&child, cost);
-                next.push(Individual {
-                    genome: child,
-                    cost,
-                });
+            // Breed the whole generation, then price it as one batch.
+            let n_children = (pop_size - next.len()).min(budget - outcome.evaluations);
+            let children: Vec<Vec<usize>> = (0..n_children)
+                .map(|_| self.breed(&population, space, rng))
+                .collect();
+            let costs = eval.eval_batch(&children);
+            for (genome, cost) in children.into_iter().zip(costs) {
+                outcome.record(&genome, cost);
+                next.push(Individual { genome, cost });
             }
             population = next;
         }

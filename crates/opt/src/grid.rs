@@ -1,4 +1,4 @@
-use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+use crate::{BatchEval, Optimizer, Rng, SearchOutcome, SearchSpace, EVAL_BATCH};
 
 /// Grid search with a coarse sampling stride (§IV-A3): enumerates the
 /// lattice `(0, s, 2s, …)` per gene in mixed-radix order until the budget
@@ -27,11 +27,11 @@ impl Default for GridSearch {
 }
 
 impl Optimizer for GridSearch {
-    fn run(
+    fn run_batch(
         &self,
         space: &SearchSpace,
         budget: usize,
-        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        eval: &mut dyn BatchEval<usize>,
         _rng: &mut Rng,
     ) -> SearchOutcome {
         let mut outcome = SearchOutcome::new();
@@ -42,27 +42,39 @@ impl Optimizer for GridSearch {
             .map(|&d| d.div_ceil(self.stride))
             .collect();
         let mut counter = vec![0usize; space.len()];
-        for _ in 0..budget {
-            let genome: Vec<usize> = counter
-                .iter()
-                .zip(space.dims())
-                .map(|(&c, &d)| (c * self.stride).min(d - 1))
-                .collect();
-            let cost = eval(&genome);
-            outcome.record(&genome, cost);
-            // Mixed-radix increment; wraps around when the lattice is
-            // exhausted (re-visiting is harmless and keeps budgets equal).
-            let mut i = 0;
-            loop {
-                counter[i] += 1;
-                if counter[i] < points[i] {
-                    break;
+        // Lattice enumeration is evaluation-independent, so whole stride
+        // runs batch naturally: generate a chunk of lattice points, price
+        // them together, record in enumeration order.
+        while outcome.evaluations < budget {
+            let chunk = (budget - outcome.evaluations).min(EVAL_BATCH);
+            let mut genomes: Vec<Vec<usize>> = Vec::with_capacity(chunk);
+            for _ in 0..chunk {
+                genomes.push(
+                    counter
+                        .iter()
+                        .zip(space.dims())
+                        .map(|(&c, &d)| (c * self.stride).min(d - 1))
+                        .collect(),
+                );
+                // Mixed-radix increment; wraps around when the lattice is
+                // exhausted (re-visiting is harmless and keeps budgets
+                // equal).
+                let mut i = 0;
+                loop {
+                    counter[i] += 1;
+                    if counter[i] < points[i] {
+                        break;
+                    }
+                    counter[i] = 0;
+                    i += 1;
+                    if i == counter.len() {
+                        break;
+                    }
                 }
-                counter[i] = 0;
-                i += 1;
-                if i == counter.len() {
-                    break;
-                }
+            }
+            let costs = eval.eval_batch(&genomes);
+            for (genome, cost) in genomes.iter().zip(costs) {
+                outcome.record(genome, cost);
             }
         }
         outcome

@@ -45,20 +45,70 @@ pub use space::SearchSpace;
 /// The RNG type shared by all optimizers.
 pub type Rng = rand::rngs::StdRng;
 
+/// Cap on how many genomes an optimizer queues up before flushing them to
+/// the evaluator: big enough to saturate a worker pool, small enough to
+/// bound per-generation memory.
+pub const EVAL_BATCH: usize = 256;
+
+/// A batched black-box objective over genomes with gene type `G`.
+///
+/// Entry `i` of the result answers `genomes[i]`; `None` marks a
+/// constraint-violating genome. Implementations backed by a parallel
+/// evaluation engine (the `EvalEngine` in the `maestro` crate) must return
+/// results bit-identical to evaluating each genome alone, in order — the
+/// optimizers rely on that to stay deterministic under any thread count.
+pub trait BatchEval<G> {
+    /// Evaluates a batch of genomes.
+    fn eval_batch(&mut self, genomes: &[Vec<G>]) -> Vec<Option<f64>>;
+}
+
+/// Adapter running a per-genome closure serially, so every [`Optimizer`]
+/// keeps accepting plain closures through [`Optimizer::run`].
+pub struct SerialEval<F>(pub F);
+
+impl<G, F: FnMut(&[G]) -> Option<f64>> BatchEval<G> for SerialEval<F> {
+    fn eval_batch(&mut self, genomes: &[Vec<G>]) -> Vec<Option<f64>> {
+        genomes.iter().map(|g| (self.0)(g)).collect()
+    }
+}
+
 /// A black-box minimizer over a discrete [`SearchSpace`].
 ///
-/// `eval` returns `Some(cost)` for feasible genomes and `None` for genomes
-/// violating the platform constraint; optimizers must survive long runs of
-/// infeasible evaluations (tight-constraint regimes in Table IV).
+/// The evaluator returns `Some(cost)` for feasible genomes and `None` for
+/// genomes violating the platform constraint; optimizers must survive long
+/// runs of infeasible evaluations (tight-constraint regimes in Table IV).
+///
+/// [`Optimizer::run_batch`] is the primary entry point: population methods
+/// (GA) and enumeration methods (grid, random) hand whole generations to
+/// the evaluator so a parallel backend can price them concurrently.
+/// Inherently sequential methods (SA, BO) degrade to singleton batches.
+/// Both entry points produce bit-identical [`SearchOutcome`]s: genomes are
+/// generated in the same RNG order and recorded in submission order, and
+/// evaluation itself never consumes randomness.
 pub trait Optimizer {
-    /// Runs the search for exactly `budget` objective evaluations.
+    /// Runs the search for exactly `budget` objective evaluations, handing
+    /// the evaluator the largest genome batches the method permits.
+    fn run_batch(
+        &self,
+        space: &SearchSpace,
+        budget: usize,
+        eval: &mut dyn BatchEval<usize>,
+        rng: &mut Rng,
+    ) -> SearchOutcome;
+
+    /// Runs the search with a serial per-genome closure.
     fn run(
         &self,
         space: &SearchSpace,
         budget: usize,
         eval: impl FnMut(&[usize]) -> Option<f64>,
         rng: &mut Rng,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome
+    where
+        Self: Sized,
+    {
+        self.run_batch(space, budget, &mut SerialEval(eval), rng)
+    }
 
     /// Method name as used in the paper's tables.
     fn name(&self) -> &'static str;

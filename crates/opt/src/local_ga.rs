@@ -1,6 +1,6 @@
 use rand::Rng as _;
 
-use crate::Rng;
+use crate::{BatchEval, Rng, SerialEval};
 
 /// The fine-grained integer space the second-stage GA explores: gene `i`
 /// takes any integer in `lo[i]..=hi[i]` (actual PE counts and tile sizes,
@@ -120,25 +120,50 @@ impl LocalGa {
         space: &FineSpace,
         init: &[i64],
         budget: usize,
-        mut eval: impl FnMut(&[i64]) -> Option<f64>,
+        eval: impl FnMut(&[i64]) -> Option<f64>,
+        rng: &mut Rng,
+    ) -> FineOutcome {
+        self.run_batch(space, init, budget, &mut SerialEval(eval), rng)
+    }
+
+    /// [`Self::run`] with a batched evaluator. Like the generic GA,
+    /// parents come only from the previous generation, so each generation
+    /// of children prices as a single batch; the seed's jittered initial
+    /// population is the first one. Outcomes are bit-identical to the
+    /// serial path.
+    pub fn run_batch(
+        &self,
+        space: &FineSpace,
+        init: &[i64],
+        budget: usize,
+        eval: &mut dyn BatchEval<i64>,
         rng: &mut Rng,
     ) -> FineOutcome {
         assert_eq!(init.len(), space.len(), "seed width mismatch");
         let cfg = &self.config;
         let mut outcome = FineOutcome::new();
-        let seed_cost = eval(init);
+        let seed_cost = eval
+            .eval_batch(std::slice::from_ref(&init.to_vec()))
+            .pop()
+            .expect("one genome in, one cost out");
         outcome.record(init, seed_cost);
         // First population: the seed plus local jitters of it.
         let mut population: Vec<Individual> = vec![Individual {
             genome: init.to_vec(),
             cost: seed_cost,
         }];
-        while population.len() < cfg.population && outcome.evaluations < budget {
-            let mut g = init.to_vec();
-            self.mutate(&mut g, space, rng);
-            let c = eval(&g);
-            outcome.record(&g, c);
-            population.push(Individual { genome: g, cost: c });
+        let n_jitters = (cfg.population - 1).min(budget.saturating_sub(outcome.evaluations));
+        let jitters: Vec<Vec<i64>> = (0..n_jitters)
+            .map(|_| {
+                let mut g = init.to_vec();
+                self.mutate(&mut g, space, rng);
+                g
+            })
+            .collect();
+        let costs = eval.eval_batch(&jitters);
+        for (genome, cost) in jitters.into_iter().zip(costs) {
+            outcome.record(&genome, cost);
+            population.push(Individual { genome, cost });
         }
         while outcome.evaluations < budget {
             population.sort_by(|a, b| match (a.cost, b.cost) {
@@ -152,22 +177,28 @@ impl LocalGa {
                 .take(cfg.elites.min(population.len()))
                 .cloned()
                 .collect();
-            while next.len() < cfg.population && outcome.evaluations < budget {
-                // Parents are drawn from the better half (valid parents
-                // reproduce, §III-G).
-                let half = (population.len() / 2).max(1);
-                let parent = &population[rng.gen_range(0..half)];
-                let mut child = parent.genome.clone();
-                if rng.gen_bool(cfg.crossover_rate.clamp(0.0, 1.0)) {
-                    self.self_crossover(&mut child, rng);
-                }
-                self.mutate(&mut child, space, rng);
-                let cost = eval(&child);
-                outcome.record(&child, cost);
-                next.push(Individual {
-                    genome: child,
-                    cost,
-                });
+            let n_children = cfg
+                .population
+                .saturating_sub(next.len())
+                .min(budget - outcome.evaluations);
+            let children: Vec<Vec<i64>> = (0..n_children)
+                .map(|_| {
+                    // Parents are drawn from the better half (valid parents
+                    // reproduce, §III-G).
+                    let half = (population.len() / 2).max(1);
+                    let parent = &population[rng.gen_range(0..half)];
+                    let mut child = parent.genome.clone();
+                    if rng.gen_bool(cfg.crossover_rate.clamp(0.0, 1.0)) {
+                        self.self_crossover(&mut child, rng);
+                    }
+                    self.mutate(&mut child, space, rng);
+                    child
+                })
+                .collect();
+            let costs = eval.eval_batch(&children);
+            for (genome, cost) in children.into_iter().zip(costs) {
+                outcome.record(&genome, cost);
+                next.push(Individual { genome, cost });
             }
             population = next;
         }

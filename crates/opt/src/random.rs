@@ -1,23 +1,32 @@
-use crate::{Optimizer, Rng, SearchOutcome, SearchSpace};
+use crate::{BatchEval, Optimizer, Rng, SearchOutcome, SearchSpace, EVAL_BATCH};
 
 /// Uniform random search: sample `budget` genomes and keep the best
 /// feasible one (§II-E; Bergstra & Bengio, 2012).
+///
+/// Samples are independent, so the whole budget batches trivially: genomes
+/// are drawn in chunks of [`EVAL_BATCH`] and priced together. Sampling
+/// happens before evaluation within each chunk, but evaluation consumes no
+/// randomness, so the RNG stream — and the recorded outcome — is identical
+/// to the serial one-at-a-time loop.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RandomSearch;
 
 impl Optimizer for RandomSearch {
-    fn run(
+    fn run_batch(
         &self,
         space: &SearchSpace,
         budget: usize,
-        mut eval: impl FnMut(&[usize]) -> Option<f64>,
+        eval: &mut dyn BatchEval<usize>,
         rng: &mut Rng,
     ) -> SearchOutcome {
         let mut outcome = SearchOutcome::new();
-        for _ in 0..budget {
-            let genome = space.sample(rng);
-            let cost = eval(&genome);
-            outcome.record(&genome, cost);
+        while outcome.evaluations < budget {
+            let chunk = (budget - outcome.evaluations).min(EVAL_BATCH);
+            let genomes: Vec<Vec<usize>> = (0..chunk).map(|_| space.sample(rng)).collect();
+            let costs = eval.eval_batch(&genomes);
+            for (genome, cost) in genomes.iter().zip(costs) {
+                outcome.record(genome, cost);
+            }
         }
         outcome
     }

@@ -1,0 +1,103 @@
+//! Prints a canonical, bit-exact digest of a fixed-seed search so CI can
+//! diff runs across `CONFX_THREADS` values: if the worker pool ever
+//! changed a result, the digests diverge and the determinism matrix leg
+//! fails. Wall-clock fields are deliberately excluded — everything printed
+//! here must be a pure function of the seed.
+//!
+//! Usage: `CONFX_THREADS=8 cargo run --release --example determinism_digest`
+
+use confuciux::{
+    two_stage_search, ConstraintKind, CostOracle, Deployment, HwProblem, Objective, PlatformClass,
+    TwoStageConfig,
+};
+use maestro::{Dataflow, DesignPoint, EvalQuery};
+
+/// FNV-1a over a stream of u64s: a stable, dependency-free checksum for
+/// long bit sequences (traces, report fields).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn main() {
+    let threads = maestro::threads_from_env();
+    let problem = HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build();
+    let cfg = TwoStageConfig {
+        global_epochs: 120,
+        fine_evaluations: 300,
+        ..TwoStageConfig::default()
+    };
+    let result = two_stage_search(&problem, &cfg, 42);
+
+    // Stderr, so stdout stays byte-identical across thread counts and CI
+    // can `diff` captured digests directly.
+    eprintln!("threads={threads}");
+    println!(
+        "final_cost_bits={:#018x}",
+        result.final_cost().map_or(0, f64::to_bits)
+    );
+    let mut trace = Fnv::new();
+    for c in &result.global.trace {
+        trace.push(c.to_bits());
+    }
+    if let Some(fine) = &result.fine {
+        for c in &fine.trace {
+            trace.push(c.to_bits());
+        }
+    }
+    println!("trace_fnv={:#018x}", trace.finish());
+    if let Some(best) = &result.global.best {
+        println!(
+            "global_best_bits={:#018x} used_bits={:#018x} layers={}",
+            best.cost.to_bits(),
+            best.constraint_used.to_bits(),
+            best.layers.len()
+        );
+    }
+    let stats = problem.eval_stats();
+    println!("eval_hits={} eval_misses={}", stats.hits, stats.misses);
+
+    // Raw engine batch digest: every report field of a fixed query batch,
+    // bit for bit, straight off the worker pool.
+    let mut batch = Fnv::new();
+    let queries: Vec<EvalQuery> = (0..200)
+        .map(|i| EvalQuery {
+            layer: i % problem.model().len(),
+            dataflow: Dataflow::ALL[i % Dataflow::ALL.len()],
+            point: DesignPoint::new(1 + (i as u64 * 13) % 1024, 1 + (i as u64 * 5) % 24)
+                .expect("positive"),
+        })
+        .collect();
+    for report in problem.engine().evaluate_batch(&queries) {
+        for v in [
+            report.latency_cycles,
+            report.energy_nj,
+            report.area_um2,
+            report.power_mw,
+            report.utilization,
+            report.dram_bytes,
+        ] {
+            batch.push(v.to_bits());
+        }
+    }
+    println!("batch_fnv={:#018x}", batch.finish());
+}

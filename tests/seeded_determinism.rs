@@ -9,12 +9,24 @@ use confuciux::{
 };
 use maestro::Dataflow;
 
+// Worker count left to `CONFX_THREADS` (CI's determinism matrix runs this
+// suite under 1/2/8 workers and the results must not move).
 fn problem() -> HwProblem {
     HwProblem::builder(dnn_models::tiny_cnn())
         .dataflow(Dataflow::NvdlaStyle)
         .objective(Objective::Latency)
         .constraint(ConstraintKind::Area, PlatformClass::Iot)
         .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+fn problem_with_threads(threads: usize) -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .threads(threads)
         .build()
 }
 
@@ -83,6 +95,40 @@ fn determinism_holds_on_a_fresh_problem_instance() {
     let r1 = two_stage_search(&problem(), &cfg, 7);
     let r2 = two_stage_search(&problem(), &cfg, 7);
     assert_bit_identical(&r1, &r2);
+}
+
+#[test]
+fn thread_pool_never_changes_results() {
+    // The referee for the parallel evaluation engine: the full two-stage
+    // pipeline must be bit-identical whether cost batches are evaluated
+    // serially or fanned out over 2 or 8 workers. (CI additionally runs
+    // this whole suite under CONFX_THREADS=1/2/8 and diffs a digest of the
+    // outputs across jobs.)
+    let cfg = config();
+    let serial = two_stage_search(&problem_with_threads(1), &cfg, 42);
+    assert!(serial.final_cost().is_some());
+    for threads in [2, 8] {
+        let parallel = two_stage_search(&problem_with_threads(threads), &cfg, 42);
+        assert_bit_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn eval_stats_are_thread_count_invariant() {
+    // Hit/miss accounting happens on the calling thread, so even the
+    // observability counters must not wobble with the worker count.
+    let cfg = config();
+    let mut stats = Vec::new();
+    for threads in [1, 2, 8] {
+        let p = problem_with_threads(threads);
+        let r = two_stage_search(&p, &cfg, 42);
+        stats.push((r.global.eval_stats, p.eval_stats()));
+    }
+    assert_eq!(stats[0], stats[1]);
+    assert_eq!(stats[0], stats[2]);
+    let (global, total) = stats[0];
+    assert!(global.total() > 0, "global stage issued no queries");
+    assert!(total.hits >= global.hits);
 }
 
 #[test]
