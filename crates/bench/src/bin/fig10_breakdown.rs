@@ -4,7 +4,7 @@
 //! buffer assignment.
 
 use confuciux::{
-    run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective, PlatformClass,
+    run_rl_search_vec, write_json, AlgorithmKind, ConstraintKind, Objective, PlatformClass,
     SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
@@ -32,13 +32,14 @@ fn main() {
             ConstraintKind::Area,
             PlatformClass::Iot,
         );
-        let r = run_rl_search(
+        let r = run_rl_search_vec(
             &problem,
             AlgorithmKind::Reinforce,
             SearchBudget {
                 epochs: args.epochs,
             },
             args.seed,
+            args.n_envs,
         );
         let Some(best) = &r.best else {
             println!("{model_name}: no feasible assignment found");

@@ -9,7 +9,7 @@
 //!   B = the best uniform end-to-end configuration.
 
 use confuciux::{
-    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    format_sci, run_baseline, run_rl_search_vec, write_json, AlgorithmKind, BaselineKind,
     ConstraintKind, Deployment, ExperimentTable, HwProblem, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
@@ -106,7 +106,7 @@ fn main() {
             let r = run_baseline(&p, kind, budget, args.seed);
             column.push((kind.name().to_string(), r.best_cost()));
         }
-        let conx = run_rl_search(&p, AlgorithmKind::Reinforce, budget, args.seed);
+        let conx = run_rl_search_vec(&p, AlgorithmKind::Reinforce, budget, args.seed, args.n_envs);
         column.push(("Con'X (global)".to_string(), conx.best_cost()));
         // Heuristic A: size for the most compute-intensive layer.
         let heavy = model.most_compute_intensive_layer();

@@ -1,9 +1,13 @@
 //! Fig. 7: convergence/sample-efficiency traces of Con'X (global) vs the
 //! classical baselines on MobileNet-V2 (NVDLA-style, IoT area budget),
 //! minimizing (a) latency and (b) energy.
+//!
+//! The Con'X trace uses vectorized rollouts (`--n-envs`, default 4); the
+//! best-so-far trace still has one entry per epoch, so the x-axis stays
+//! comparable with the baselines' sample budgets.
 
 use confuciux::{
-    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    format_sci, run_baseline, run_rl_search_vec, write_json, AlgorithmKind, BaselineKind,
     ConstraintKind, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
@@ -35,7 +39,13 @@ fn main() {
             &format!("Fig. 7 — best-so-far vs epochs (Obj: {objective}, Cstr: IoT area)"),
             &["Method", "@10%", "@25%", "@50%", "@100%", "epochs-to-conv"],
         );
-        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        let conx = run_rl_search_vec(
+            &problem,
+            AlgorithmKind::Reinforce,
+            budget,
+            args.seed,
+            args.n_envs,
+        );
         let mut runs = vec![(
             "Con'X (global)".to_string(),
             conx.trace,

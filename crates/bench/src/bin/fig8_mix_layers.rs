@@ -3,7 +3,7 @@
 //! PEs/buffer bytes each layer receives.
 
 use confuciux::{
-    run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
+    run_rl_search_vec, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective,
     PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
@@ -26,13 +26,14 @@ fn main() {
         .constraint(ConstraintKind::Area, PlatformClass::Iot)
         .deployment(Deployment::LayerPipelined)
         .build();
-    let r = run_rl_search(
+    let r = run_rl_search_vec(
         &problem,
         AlgorithmKind::Reinforce,
         SearchBudget {
             epochs: args.epochs,
         },
         args.seed,
+        args.n_envs,
     );
     let Some(best) = &r.best else {
         println!("no feasible MIX assignment found in {} epochs", args.epochs);

@@ -32,6 +32,7 @@ fn main() {
     let cfg = TwoStageConfig {
         global_epochs: args.epochs,
         fine_evaluations: args.epochs * 2,
+        n_envs: args.n_envs,
         ..TwoStageConfig::default()
     };
     let result = two_stage_search(&problem, &cfg, args.seed);

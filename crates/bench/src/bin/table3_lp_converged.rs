@@ -6,7 +6,7 @@
 //! `--full` runs all 18 rows of the paper.
 
 use confuciux::{
-    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    format_sci, run_baseline, run_rl_search_vec, write_json, AlgorithmKind, BaselineKind,
     ConstraintKind, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::{dataflow_by_suffix, standard_problem, Args};
@@ -57,8 +57,20 @@ fn main() {
             platform,
         );
         let ga = run_baseline(&problem, BaselineKind::Genetic, budget, args.seed);
-        let ppo = run_rl_search(&problem, AlgorithmKind::Ppo2, budget, args.seed);
-        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        let ppo = run_rl_search_vec(
+            &problem,
+            AlgorithmKind::Ppo2,
+            budget,
+            args.seed,
+            args.n_envs,
+        );
+        let conx = run_rl_search_vec(
+            &problem,
+            AlgorithmKind::Reinforce,
+            budget,
+            args.seed,
+            args.n_envs,
+        );
         table.push_row(vec![
             format!("{model}-{df}"),
             platform.to_string(),

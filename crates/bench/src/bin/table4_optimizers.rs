@@ -3,7 +3,7 @@
 //! NVDLA-style, LP deployment — 14 (objective, constraint, platform) rows.
 
 use confuciux::{
-    format_sci, run_baseline, run_rl_search, write_json, AlgorithmKind, BaselineKind,
+    format_sci, run_baseline, run_rl_search_vec, write_json, AlgorithmKind, BaselineKind,
     ConstraintKind, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
@@ -110,7 +110,13 @@ fn main() {
                 r.eval_stats.hit_rate() * 100.0
             );
         }
-        let conx = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+        let conx = run_rl_search_vec(
+            &problem,
+            AlgorithmKind::Reinforce,
+            budget,
+            args.seed,
+            args.n_envs,
+        );
         cells.push(format_sci(conx.best_cost()));
         eprintln!(
             "  {}: {} evals ({:.0}% cache hits)",

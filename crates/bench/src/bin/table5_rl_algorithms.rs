@@ -4,10 +4,17 @@
 //!
 //! Default runs the six MobileNet-V2 rows; `--full` adds the ResNet-50 and
 //! MnasNet rows of the paper (slow).
+//!
+//! Rollouts are vectorized (`--n-envs`, default 4): each search runs
+//! `n_envs` environment replicas in lockstep and batches their cost
+//! queries through the evaluation engine. Per-algorithm engine counters
+//! (fresh evaluations vs cache hits) are reported after each row so the
+//! cache's effect on the RL path is visible, as `table4_optimizers`
+//! already does for the classical baselines.
 
 use confuciux::{
-    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective, PlatformClass,
-    SearchBudget,
+    format_sci, run_rl_search_vec, write_json, AlgorithmKind, ConstraintKind, Objective,
+    PlatformClass, SearchBudget,
 };
 use confuciux_bench::{format_duration, standard_problem, Args};
 use maestro::Dataflow;
@@ -129,12 +136,18 @@ fn main() {
             format!("{constraint}: {platform}"),
         ];
         for kind in AlgorithmKind::TABLE5 {
-            let r = run_rl_search(&problem, kind, budget, args.seed);
+            let r = run_rl_search_vec(&problem, kind, budget, args.seed, args.n_envs);
             cells.push(format_sci(r.best_cost()));
             cells.push(format_duration(r.wall_time));
             if params.iter().all(|(n, _)| n != kind.name()) {
                 params.push((kind.name().to_string(), r.param_count));
             }
+            eprintln!(
+                "  {}: {} evals ({:.0}% cache hits)",
+                kind.name(),
+                r.eval_stats.total(),
+                r.eval_stats.hit_rate() * 100.0
+            );
             eprintln!(
                 "done: {model} {objective} {constraint} {platform} {}",
                 kind.name()

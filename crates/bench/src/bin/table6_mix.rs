@@ -3,8 +3,8 @@
 //! a third action (§IV-D).
 
 use confuciux::{
-    format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
-    Objective, PlatformClass, SearchBudget,
+    format_sci, run_rl_search_vec, write_json, AlgorithmKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
 use maestro::Dataflow;
@@ -57,7 +57,13 @@ fn main() {
                 ConstraintKind::Area,
                 platform,
             );
-            let r = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+            let r = run_rl_search_vec(
+                &problem,
+                AlgorithmKind::Reinforce,
+                budget,
+                args.seed,
+                args.n_envs,
+            );
             cells.push(format_sci(r.best_cost()));
         }
         let mix_problem = HwProblem::builder(dnn_models::by_name(model).expect("known model"))
@@ -66,7 +72,13 @@ fn main() {
             .constraint(ConstraintKind::Area, platform)
             .deployment(Deployment::LayerPipelined)
             .build();
-        let mix = run_rl_search(&mix_problem, AlgorithmKind::Reinforce, budget, args.seed);
+        let mix = run_rl_search_vec(
+            &mix_problem,
+            AlgorithmKind::Reinforce,
+            budget,
+            args.seed,
+            args.n_envs,
+        );
         cells.push(format_sci(mix.best_cost()));
         table.push_row(cells);
         eprintln!("done: {model} {platform}");

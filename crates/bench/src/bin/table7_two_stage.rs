@@ -6,7 +6,7 @@
 //! argument for local operators).
 
 use confuciux::{
-    fine_tune, format_sci, run_rl_search, write_json, AlgorithmKind, ConstraintKind, Objective,
+    fine_tune, format_sci, run_rl_search_vec, write_json, AlgorithmKind, ConstraintKind, Objective,
     PlatformClass, SearchBudget,
 };
 use confuciux_bench::{standard_problem, Args};
@@ -48,13 +48,14 @@ fn main() {
             ConstraintKind::Area,
             platform,
         );
-        let global = run_rl_search(
+        let global = run_rl_search_vec(
             &problem,
             AlgorithmKind::Reinforce,
             SearchBudget {
                 epochs: args.epochs,
             },
             args.seed,
+            args.n_envs,
         );
         let (fine_cost, impr2) = match &global.best {
             Some(coarse) => {

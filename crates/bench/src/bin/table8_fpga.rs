@@ -8,8 +8,8 @@
 //! the raw totals (PEs, L1 bytes) of each solution, as in the paper.
 
 use confuciux::{
-    fine_tune, format_sci, run_rl_search, write_json, ActionSpace, AlgorithmKind, ConstraintKind,
-    Deployment, HwProblem, LayerAssignment, Objective, PlatformClass, SearchBudget,
+    fine_tune, format_sci, run_rl_search_vec, write_json, ActionSpace, AlgorithmKind,
+    ConstraintKind, Deployment, HwProblem, LayerAssignment, Objective, PlatformClass, SearchBudget,
 };
 use confuciux_bench::Args;
 use maestro::{CostModel, Dataflow, DesignPoint};
@@ -141,7 +141,13 @@ fn main() {
             }
 
             // ConfuciuX-dla: global then fine-tuned.
-            let global = run_rl_search(&problem, AlgorithmKind::Reinforce, budget, args.seed);
+            let global = run_rl_search_vec(
+                &problem,
+                AlgorithmKind::Reinforce,
+                budget,
+                args.seed,
+                args.n_envs,
+            );
             if let Some(best) = &global.best {
                 let (p, b) = totals(&problem, &best.layers);
                 table.push_row(vec![
@@ -168,7 +174,13 @@ fn main() {
 
             // ConfuciuX-MIX: global then fine-tuned.
             let mix_problem = mk_problem(true);
-            let mix = run_rl_search(&mix_problem, AlgorithmKind::Reinforce, budget, args.seed);
+            let mix = run_rl_search_vec(
+                &mix_problem,
+                AlgorithmKind::Reinforce,
+                budget,
+                args.seed,
+                args.n_envs,
+            );
             if let Some(best) = &mix.best {
                 let (p, b) = totals(&mix_problem, &best.layers);
                 table.push_row(vec![

@@ -7,8 +7,9 @@
 //! baseline and the accumulated vs constant penalty of §III-E).
 
 use confuciux::{
-    format_sci, run_rl_search, run_rl_search_with_reward, write_json, ActionSpace, AlgorithmKind,
-    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass, RewardConfig, SearchBudget,
+    format_sci, run_rl_search_vec, run_rl_search_vec_with_reward, write_json, ActionSpace,
+    AlgorithmKind, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass, RewardConfig,
+    SearchBudget,
 };
 use confuciux_bench::Args;
 use maestro::Dataflow;
@@ -53,7 +54,7 @@ fn main() {
             let mut cells = vec![net.to_string(), platform.to_string()];
             for levels in [10usize, 12, 14] {
                 let problem = problem_with_levels(levels, platform);
-                let r = run_rl_search(&problem, kind, budget, args.seed);
+                let r = run_rl_search_vec(&problem, kind, budget, args.seed, args.n_envs);
                 cells.push(format_sci(r.best_cost()));
                 cells.push(match &r.best {
                     Some(b) => format!("{:.1}%", 100.0 * b.budget_utilization(problem.budget())),
@@ -97,12 +98,13 @@ fn main() {
             ),
         ];
         for (name, cfg) in variants {
-            let r = run_rl_search_with_reward(
+            let r = run_rl_search_vec_with_reward(
                 &problem,
                 AlgorithmKind::Reinforce,
                 budget,
                 args.seed,
                 cfg,
+                args.n_envs,
             );
             ablation.push_row(vec![
                 name.to_string(),

@@ -12,6 +12,9 @@
 //! * `--out DIR` — results directory (default `results/`).
 //! * `--full` — run the complete row set instead of the representative
 //!   subset.
+//! * `--n-envs N` — environment replicas for vectorized RL rollouts
+//!   (default 4; `1` reproduces the serial pre-vectorization numbers
+//!   bit-for-bit). Results depend on `N` but never on `CONFX_THREADS`.
 
 use std::path::PathBuf;
 
@@ -29,6 +32,8 @@ pub struct Args {
     pub out: PathBuf,
     /// Run the full row set.
     pub full: bool,
+    /// Environment replicas for vectorized RL rollouts.
+    pub n_envs: usize,
 }
 
 impl Args {
@@ -43,6 +48,7 @@ impl Args {
             seed: 42,
             out: PathBuf::from("results"),
             full: false,
+            n_envs: 4,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -61,6 +67,11 @@ impl Args {
                     args.out = PathBuf::from(&argv[i]);
                 }
                 "--full" => args.full = true,
+                "--n-envs" => {
+                    i += 1;
+                    args.n_envs = argv[i].parse().expect("--n-envs takes an integer");
+                    assert!(args.n_envs >= 1, "--n-envs must be at least 1");
+                }
                 other => panic!("unknown argument `{other}` (see crate docs)"),
             }
             i += 1;

@@ -93,6 +93,43 @@ impl<'p> HwEnv<'p> {
         self.outcome.as_ref()
     }
 
+    /// Whether the current episode has ended (also true before the first
+    /// [`Env::reset`]).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Index of the layer the next [`Env::step`] will assign (equals the
+    /// number of steps taken this episode).
+    pub fn step_index(&self) -> usize {
+        self.t
+    }
+
+    /// Decodes one sub-action tuple into the layer assignment the next
+    /// step would evaluate (no evaluation happens here; [`VecHwEnv`]
+    /// uses this to pre-batch the cost queries of a synchronized step).
+    ///
+    /// [`VecHwEnv`]: crate::VecHwEnv
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple arity or an index is out of range.
+    pub fn decode_action(&self, actions: &[usize]) -> LayerAssignment {
+        let expected = if self.problem.is_mix() { 3 } else { 2 };
+        assert_eq!(actions.len(), expected, "wrong number of sub-actions");
+        let space = self.problem.actions();
+        let dataflow = if self.problem.is_mix() {
+            Dataflow::from_index(actions[2]).expect("dataflow index in range")
+        } else {
+            self.problem.dataflow().expect("fixed dataflow")
+        };
+        LayerAssignment {
+            dataflow,
+            point: DesignPoint::new(space.pe(actions[0]), space.tile(actions[1]))
+                .expect("levels are positive"),
+        }
+    }
+
     fn observation(&self) -> Vec<f32> {
         let n = self.problem.model().len();
         let layer = &self.problem.model().layers()[self.t.min(n - 1)];
@@ -122,10 +159,26 @@ impl<'p> HwEnv<'p> {
     /// Single-step LS episode: the chosen pair is the uniform whole-model
     /// configuration.
     fn step_ls(&mut self, la: LayerAssignment) -> rl_core::Step {
+        let evaluated = self.problem.evaluate_ls(la.dataflow, la.point);
+        self.step_ls_with(la, evaluated)
+    }
+
+    /// LS step with an already-evaluated configuration. `evaluated` must be
+    /// exactly `problem.evaluate_ls(la.dataflow, la.point)`; the vectorized
+    /// environment passes results straight out of a fused
+    /// [`HwProblem::evaluate_ls_batch`] (bit-identical by that method's
+    /// contract) so a synchronized step never re-derives them through the
+    /// cache.
+    pub(crate) fn step_ls_with(
+        &mut self,
+        la: LayerAssignment,
+        evaluated: Option<Assignment>,
+    ) -> rl_core::Step {
+        debug_assert!(!self.done, "step on a finished episode");
         self.done = true;
         self.t = 1;
         self.partial.push(la);
-        match self.problem.evaluate_ls(la.dataflow, la.point) {
+        match evaluated {
             Some(assignment) => {
                 let cost = assignment.cost;
                 self.consumed = assignment.constraint_used;
@@ -200,27 +253,52 @@ impl Env for HwEnv<'_> {
 
     fn step(&mut self, actions: &[usize]) -> Step {
         assert!(!self.done, "step called after episode end");
-        let expected = if self.problem.is_mix() { 3 } else { 2 };
-        assert_eq!(actions.len(), expected, "wrong number of sub-actions");
-        let space = self.problem.actions();
-        let dataflow = if self.problem.is_mix() {
-            Dataflow::from_index(actions[2]).expect("dataflow index in range")
-        } else {
-            self.problem.dataflow().expect("fixed dataflow")
-        };
-        let la = LayerAssignment {
-            dataflow,
-            point: DesignPoint::new(space.pe(actions[0]), space.tile(actions[1]))
-                .expect("levels are positive"),
-        };
+        let la = self.decode_action(actions);
         if self.problem.deployment() == crate::Deployment::LayerSequential {
             return self.step_ls(la);
         }
         let layer_cost = self.problem.layer_cost(self.t, la);
         let layer_constraint = self.problem.layer_constraint(self.t, la);
+        self.apply_lp_step((actions[0], actions[1]), la, layer_cost, layer_constraint)
+    }
+
+    fn outcome_cost(&self) -> Option<f64> {
+        self.outcome.as_ref().map(|a| a.cost)
+    }
+}
+
+impl HwEnv<'_> {
+    /// LP step with an already-evaluated cost report for
+    /// `(self.step_index(), decode_action(actions))`. The vectorized
+    /// environment passes reports straight out of a fused
+    /// [`HwProblem::evaluate_layer_batch`] so a synchronized step prices
+    /// all replicas in one engine batch instead of re-deriving each
+    /// report through the memo cache.
+    pub(crate) fn step_lp_with(
+        &mut self,
+        actions: &[usize],
+        la: LayerAssignment,
+        report: &maestro::CostReport,
+    ) -> Step {
+        debug_assert!(!self.done, "step on a finished episode");
+        let layer_cost = self.problem.objective().of(report);
+        let layer_constraint = self.problem.constraint().of(report);
+        self.apply_lp_step((actions[0], actions[1]), la, layer_cost, layer_constraint)
+    }
+
+    /// The LP transition proper, once the layer's cost and constraint
+    /// consumption are known (identical float-op sequence for the serial
+    /// and vectorized paths).
+    fn apply_lp_step(
+        &mut self,
+        prev_action: (usize, usize),
+        la: LayerAssignment,
+        layer_cost: f64,
+        layer_constraint: f64,
+    ) -> Step {
         self.consumed += layer_constraint;
         self.partial.push(la);
-        self.prev_action = (actions[0], actions[1]);
+        self.prev_action = prev_action;
 
         if self.consumed > self.problem.budget() {
             // Constraint violated: terminate with the scale-aware penalty.
@@ -256,10 +334,6 @@ impl Env for HwEnv<'_> {
             reward,
             done: self.done,
         }
-    }
-
-    fn outcome_cost(&self) -> Option<f64> {
-        self.outcome.as_ref().map(|a| a.cost)
     }
 }
 

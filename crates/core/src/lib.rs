@@ -46,6 +46,7 @@ mod ls_sweep;
 mod problem;
 mod report;
 mod search;
+mod vecenv;
 
 pub use action::ActionSpace;
 pub use assignment::{Assignment, LayerAssignment};
@@ -59,8 +60,12 @@ pub use ls_sweep::{heuristic_a, heuristic_b, per_layer_optima, PerLayerOptimum};
 pub use maestro::{threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, THREADS_ENV};
 pub use problem::{HwProblem, HwProblemBuilder};
 pub use report::{format_sci, write_json, ExperimentTable};
+// The vectorized-environment trait is re-exported so downstream binaries
+// can drive a `VecHwEnv` without a direct `rl_core` dependency edge.
+pub use rl_core::VecEnv;
 pub use search::{
-    fine_tune, make_agent, run_baseline, run_rl_search, run_rl_search_with_reward,
-    two_stage_search, AlgorithmKind, BaselineKind, FineTuneResult, RlSearchResult, SearchBudget,
-    TwoStageConfig, TwoStageResult,
+    fine_tune, make_agent, run_baseline, run_rl_search, run_rl_search_vec,
+    run_rl_search_vec_with_reward, run_rl_search_with_reward, two_stage_search, AlgorithmKind,
+    BaselineKind, FineTuneResult, RlSearchResult, SearchBudget, TwoStageConfig, TwoStageResult,
 };
+pub use vecenv::VecHwEnv;

@@ -167,13 +167,32 @@ impl HwProblem {
         })
     }
 
+    /// Candidates per fused engine batch in the `*_batch` entry points.
+    /// Chunking keeps each batch's transient buffers (query list, report
+    /// list, dedup index) cache-resident: a fused batch over hundreds of
+    /// candidates otherwise streams megabytes through memory and costs
+    /// more per query than the serial path it replaces. On a
+    /// multi-threaded engine the chunk is widened to the engine's
+    /// [`parallel-batch target`](EvalEngine::parallel_batch_target) so an
+    /// all-miss chunk still engages the full worker pool — chunking must
+    /// never make the pool unreachable from these entry points.
+    fn batch_chunk_candidates(&self) -> usize {
+        const TARGET_QUERIES_PER_CHUNK: usize = 256;
+        let target = TARGET_QUERIES_PER_CHUNK.max(self.engine.parallel_batch_target());
+        // Round *up*: a full chunk must carry at least `target` queries,
+        // or an all-miss chunk would stay just below the pool's
+        // per-worker threshold and never engage every worker.
+        target.div_ceil(self.model.len().max(1)).max(1)
+    }
+
     /// Batch form of [`Self::evaluate_lp`]: every candidate's per-layer
-    /// queries are fused into one engine batch (a GA population of `P`
-    /// candidates over an `n`-layer model becomes a single `P·n`-query
-    /// batch), then reassembled per candidate. Results are bit-identical to
-    /// calling [`Self::evaluate_lp`] in a loop; the only difference is that
+    /// queries are fused into cache-sized engine batches (a GA population
+    /// of `P` candidates over an `n`-layer model becomes `P·n` queries,
+    /// dispatched a few hundred at a time), then reassembled per
+    /// candidate. Results are bit-identical to calling
+    /// [`Self::evaluate_lp`] in a loop; the only difference is that
     /// infeasible candidates still price all their layers (the cost of
-    /// dispatching the batch before any budget sum is known).
+    /// dispatching a batch before any budget sum is known).
     ///
     /// # Panics
     ///
@@ -182,6 +201,13 @@ impl HwProblem {
         &self,
         candidates: &[Vec<LayerAssignment>],
     ) -> Vec<Option<Assignment>> {
+        candidates
+            .chunks(self.batch_chunk_candidates())
+            .flat_map(|chunk| self.evaluate_lp_chunk(chunk))
+            .collect()
+    }
+
+    fn evaluate_lp_chunk(&self, candidates: &[Vec<LayerAssignment>]) -> Vec<Option<Assignment>> {
         let mut queries = Vec::with_capacity(candidates.len() * self.model.len());
         for layers in candidates {
             assert_eq!(
@@ -243,12 +269,19 @@ impl HwProblem {
     }
 
     /// Batch form of [`Self::evaluate_ls`]: all configurations' per-layer
-    /// queries run as one engine batch. Results are bit-identical to
-    /// calling [`Self::evaluate_ls`] in a loop.
+    /// queries run as fused, cache-sized engine batches. Results are
+    /// bit-identical to calling [`Self::evaluate_ls`] in a loop.
     pub fn evaluate_ls_batch(
         &self,
         configs: &[(Dataflow, DesignPoint)],
     ) -> Vec<Option<Assignment>> {
+        configs
+            .chunks(self.batch_chunk_candidates())
+            .flat_map(|chunk| self.evaluate_ls_chunk(chunk))
+            .collect()
+    }
+
+    fn evaluate_ls_chunk(&self, configs: &[(Dataflow, DesignPoint)]) -> Vec<Option<Assignment>> {
         let n = self.model.len();
         let mut queries = Vec::with_capacity(configs.len() * n);
         for &(dataflow, point) in configs {

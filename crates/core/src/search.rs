@@ -12,7 +12,7 @@ use rl_core::{
 use serde::{Deserialize, Serialize};
 use tinynn::{Rng, SeedableRng};
 
-use crate::{Assignment, Deployment, HwEnv, HwProblem, LayerAssignment, RewardConfig};
+use crate::{Assignment, Deployment, HwEnv, HwProblem, LayerAssignment, RewardConfig, VecHwEnv};
 
 /// The RL algorithms compared in Table V, plus the MLP-backbone variant of
 /// the paper's agent (Table IX).
@@ -226,6 +226,90 @@ pub fn run_rl_search_with_reward(
         result
             .trace
             .push(result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
+    }
+    result.wall_time = start.elapsed();
+    result.eval_stats = problem.eval_stats().since(stats_at_start);
+    result.finish()
+}
+
+/// [`run_rl_search`] with vectorized rollouts: `n_envs` replicas of the
+/// environment run in lockstep so every synchronized step prices its
+/// cost queries as one engine batch (see [`VecHwEnv`]).
+///
+/// Determinism contract: replica `i` is driven by its own RNG stream
+/// derived from `seed`, so the result is a pure function of
+/// `(seed, n_envs)` — independent of `CONFX_THREADS` — and `n_envs = 1`
+/// is **bit-identical** to [`run_rl_search`] (asserted in
+/// `tests/seeded_determinism.rs`). The epoch budget is spent exactly:
+/// a final partial round runs with fewer live replicas if `epochs` is
+/// not a multiple of `n_envs`.
+pub fn run_rl_search_vec(
+    problem: &HwProblem,
+    kind: AlgorithmKind,
+    budget: SearchBudget,
+    seed: u64,
+    n_envs: usize,
+) -> RlSearchResult {
+    run_rl_search_vec_with_reward(problem, kind, budget, seed, RewardConfig::default(), n_envs)
+}
+
+/// [`run_rl_search_vec`] with custom reward shaping.
+pub fn run_rl_search_vec_with_reward(
+    problem: &HwProblem,
+    kind: AlgorithmKind,
+    budget: SearchBudget,
+    seed: u64,
+    reward: RewardConfig,
+    n_envs: usize,
+) -> RlSearchResult {
+    let n_envs = n_envs.max(1);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut venv = VecHwEnv::with_reward(problem, reward, n_envs);
+    let mut agent = make_agent(kind, venv.env(0), &mut rng);
+    // One RNG stream per replica. Replica 0 continues the construction
+    // stream — exactly where the serial path would be after building the
+    // agent, which is what makes `n_envs = 1` bit-identical to
+    // `run_rl_search`. Higher replicas get independent SplitMix-salted
+    // streams derived from the same seed (never drawn from the main
+    // stream, which would perturb replica 0).
+    let mut rngs: Vec<Rng> = Vec::with_capacity(n_envs);
+    rngs.push(rng);
+    for i in 1..n_envs as u64 {
+        rngs.push(Rng::seed_from_u64(
+            seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+    }
+    let stats_at_start = problem.eval_stats();
+    let start = Instant::now();
+    let mut result = RlSearchResult {
+        algorithm: kind.name().to_string(),
+        best: None,
+        trace: Vec::with_capacity(budget.epochs),
+        initial_valid_cost: None,
+        epochs_to_converge: None,
+        wall_time: Duration::ZERO,
+        param_count: agent.param_count(),
+        eval_stats: EvalStats::default(),
+    };
+    let mut remaining = budget.epochs;
+    while remaining > 0 {
+        let k = n_envs.min(remaining);
+        let reports = agent.train_epochs_vec(&mut venv, &mut rngs[..k]);
+        for (i, report) in reports.iter().enumerate() {
+            if let Some(cost) = report.feasible_cost {
+                if result.initial_valid_cost.is_none() {
+                    result.initial_valid_cost = Some(cost);
+                }
+                let improved = result.best.as_ref().is_none_or(|b| cost < b.cost);
+                if improved {
+                    result.best = venv.last_outcome(i).cloned();
+                }
+            }
+            result
+                .trace
+                .push(result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
+        }
+        remaining -= k;
     }
     result.wall_time = start.elapsed();
     result.eval_stats = problem.eval_stats().since(stats_at_start);
@@ -511,6 +595,11 @@ pub struct TwoStageConfig {
     pub global_epochs: usize,
     /// Stage-2 local-GA evaluations.
     pub fine_evaluations: usize,
+    /// Stage-1 environment replicas rolled out in lockstep (see
+    /// [`run_rl_search_vec`]). `1` (the default) is the serial path,
+    /// bit-identical to pre-vectorization behavior; any value is
+    /// deterministic for a fixed seed.
+    pub n_envs: usize,
 }
 
 impl Default for TwoStageConfig {
@@ -519,6 +608,7 @@ impl Default for TwoStageConfig {
             algorithm: AlgorithmKind::Reinforce,
             global_epochs: 500,
             fine_evaluations: 1_000,
+            n_envs: 1,
         }
     }
 }
@@ -550,13 +640,14 @@ impl TwoStageResult {
 
 /// Runs the complete ConfuciuX pipeline.
 pub fn two_stage_search(problem: &HwProblem, config: &TwoStageConfig, seed: u64) -> TwoStageResult {
-    let global = run_rl_search(
+    let global = run_rl_search_vec(
         problem,
         config.algorithm,
         SearchBudget {
             epochs: config.global_epochs,
         },
         seed,
+        config.n_envs,
     );
     let fine = global
         .best

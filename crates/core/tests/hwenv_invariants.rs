@@ -1,0 +1,259 @@
+//! Property-based invariants of the ConfuciuX MDP ([`HwEnv`]) and its
+//! vectorized form ([`VecHwEnv`]): whatever the policy plays, the
+//! environment must keep the running assignment inside the constraint
+//! budget, fire `done` exactly at episode end, reset cleanly, and shape
+//! rewards with the sign the [`RewardConfig`] promises.
+
+use confuciux::{
+    ConstraintKind, Deployment, HwEnv, HwProblem, Objective, PlatformClass, RewardConfig, VecEnv,
+    VecHwEnv,
+};
+use proptest::prelude::*;
+use rand::Rng as _;
+use rl_core::Env;
+use tinynn::{Rng, SeedableRng};
+
+const PLATFORMS: [PlatformClass; 4] = [
+    PlatformClass::IotX,
+    PlatformClass::Iot,
+    PlatformClass::Cloud,
+    PlatformClass::Unlimited,
+];
+
+fn build_problem(platform: PlatformClass, deployment: Deployment, mix: bool) -> HwProblem {
+    let builder = HwProblem::builder(dnn_models::tiny_cnn())
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, platform)
+        .deployment(deployment);
+    if mix {
+        builder.mix_dataflow().build()
+    } else {
+        builder.build()
+    }
+}
+
+fn deployment(idx: usize) -> Deployment {
+    if idx == 0 {
+        Deployment::LayerPipelined
+    } else {
+        Deployment::LayerSequential
+    }
+}
+
+/// Samples one uniformly random sub-action tuple for `env`.
+fn random_actions(env: &HwEnv<'_>, rng: &mut Rng) -> Vec<usize> {
+    env.action_dims()
+        .iter()
+        .map(|&n| rng.gen_range(0..n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-policy episodes: `done` fires exactly at the horizon or at
+    /// the first budget violation (tracked independently through the
+    /// problem's per-layer constraint accounting), observations stay
+    /// normalized, and a feasible outcome always fits the budget.
+    #[test]
+    fn episode_ends_exactly_when_budget_or_horizon_says_so(
+        seed in 0u64..u64::MAX,
+        platform_idx in 0usize..4,
+        deployment_idx in 0usize..2,
+        mix_raw in 0u8..2,
+    ) {
+        let mix = mix_raw == 1;
+        let problem = build_problem(PLATFORMS[platform_idx], deployment(deployment_idx), mix);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut env = HwEnv::new(&problem);
+        let obs = env.reset();
+        prop_assert_eq!(obs.len(), env.obs_dim());
+        prop_assert!(obs.iter().all(|v| (-1.0..=1.0).contains(v)), "{:?}", obs);
+
+        let horizon = env.horizon();
+        let mut consumed = 0.0f64;
+        let mut violated = false;
+        let mut steps = 0usize;
+        loop {
+            let actions = random_actions(&env, &mut rng);
+            let la = env.decode_action(&actions);
+            if deployment(deployment_idx) == Deployment::LayerPipelined {
+                consumed += problem.layer_constraint(steps, la);
+                violated = consumed > problem.budget();
+            }
+            let step = env.step(&actions);
+            steps += 1;
+            prop_assert!(steps <= horizon, "episode overran its horizon");
+            if deployment(deployment_idx) == Deployment::LayerPipelined {
+                // `done` must fire exactly when the independently-tracked
+                // budget blows or the horizon is reached — never earlier,
+                // never later.
+                let should_end = violated || steps == horizon;
+                prop_assert_eq!(step.done, should_end,
+                    "done={} but violated={} steps={}/{}", step.done, violated, steps, horizon);
+            }
+            if step.done {
+                if violated {
+                    prop_assert!(env.outcome_cost().is_none(),
+                        "violated episode must have no outcome");
+                } else if let Some(outcome) = env.last_outcome() {
+                    prop_assert!(outcome.constraint_used <= problem.budget());
+                    prop_assert!(outcome.cost.is_finite() && outcome.cost > 0.0);
+                    prop_assert_eq!(env.outcome_cost(), Some(outcome.cost));
+                }
+                break;
+            }
+            prop_assert!(env.outcome_cost().is_none(), "outcome only after done");
+        }
+        prop_assert!(env.is_done());
+        if deployment(deployment_idx) == Deployment::LayerSequential {
+            prop_assert_eq!(steps, 1, "LS episodes are single-step");
+        }
+    }
+
+    /// Reward signs follow the `RewardConfig`: with the paper's `P_min`
+    /// baseline every feasible reward is non-negative; with raw `-cost`
+    /// rewards every feasible reward is negative; violations are punished
+    /// with exactly the configured penalty.
+    #[test]
+    fn reward_sign_matches_the_configured_shaping(
+        seed in 0u64..u64::MAX,
+        platform_idx in 0usize..4,
+        deployment_idx in 0usize..2,
+        pmin_raw in 0u8..2,
+        accumulated_raw in 0u8..2,
+    ) {
+        let (use_pmin, accumulated) = (pmin_raw == 1, accumulated_raw == 1);
+        let problem = build_problem(PLATFORMS[platform_idx], deployment(deployment_idx), false);
+        let cfg = RewardConfig {
+            use_pmin_baseline: use_pmin,
+            accumulated_penalty: accumulated,
+            constant_penalty: -7.5,
+        };
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut env = HwEnv::with_reward(&problem, cfg);
+        // Two episodes: the second exercises the cross-episode baseline.
+        for _ in 0..2 {
+            env.reset();
+            let mut feasible_rewards = Vec::new();
+            loop {
+                let step = env.step(&random_actions(&env, &mut rng));
+                let completed_feasibly = step.done && env.outcome_cost().is_some();
+                if step.done && env.outcome_cost().is_none() {
+                    // Budget violation: scale-aware or constant penalty.
+                    if !accumulated {
+                        prop_assert_eq!(step.reward, -7.5);
+                    } else if deployment(deployment_idx) == Deployment::LayerPipelined {
+                        let expected = -feasible_rewards.iter().sum::<f32>();
+                        prop_assert_eq!(step.reward, expected,
+                            "accumulated penalty must negate the episode reward");
+                    } else {
+                        // One-step LS episode: scale-aware fallback.
+                        prop_assert!(step.reward < 0.0, "LS penalty must be negative");
+                    }
+                } else if !step.done || completed_feasibly {
+                    feasible_rewards.push(step.reward);
+                    if use_pmin {
+                        prop_assert!(step.reward >= 0.0,
+                            "P_min-baselined feasible reward must be >= 0, got {}", step.reward);
+                    } else {
+                        prop_assert!(step.reward < 0.0,
+                            "raw-cost feasible reward must be < 0, got {}", step.reward);
+                    }
+                }
+                if step.done {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `reset` is idempotent: any number of consecutive resets leaves the
+    /// environment in the same state as one, bit-for-bit, as observed
+    /// through a full subsequent episode.
+    #[test]
+    fn reset_is_idempotent(
+        seed in 0u64..u64::MAX,
+        platform_idx in 0usize..4,
+        deployment_idx in 0usize..2,
+        extra_resets in 1usize..4,
+    ) {
+        let problem = build_problem(PLATFORMS[platform_idx], deployment(deployment_idx), false);
+        let mut once = HwEnv::new(&problem);
+        let mut many = HwEnv::new(&problem);
+        let obs_once = once.reset();
+        let mut obs_many = many.reset();
+        for _ in 0..extra_resets {
+            obs_many = many.reset();
+        }
+        prop_assert_eq!(obs_once, obs_many);
+        let mut rng = Rng::seed_from_u64(seed);
+        loop {
+            let actions = random_actions(&once, &mut rng);
+            let a = once.step(&actions);
+            let b = many.step(&actions);
+            prop_assert_eq!(&a, &b, "post-reset trajectories diverged");
+            if a.done {
+                break;
+            }
+        }
+        prop_assert_eq!(once.outcome_cost(), many.outcome_cost());
+    }
+
+    /// The vectorized environment is a pure batching layer: N replicas
+    /// playing random action sequences in lockstep produce exactly the
+    /// steps each replica would produce alone on a fresh problem.
+    #[test]
+    fn vec_env_matches_serial_replicas_on_random_policies(
+        seed in 0u64..u64::MAX,
+        platform_idx in 0usize..4,
+        deployment_idx in 0usize..2,
+        n_envs in 2usize..5,
+    ) {
+        let problem = build_problem(PLATFORMS[platform_idx], deployment(deployment_idx), false);
+        let mut venv = VecHwEnv::new(&problem, n_envs);
+        // Pre-draw every replica's action sequence from its own stream so
+        // the serial replay below sees identical actions.
+        let horizon = VecEnv::horizon(&venv);
+        let plans: Vec<Vec<Vec<usize>>> = (0..n_envs)
+            .map(|i| {
+                let mut rng = Rng::seed_from_u64(seed ^ (i as u64) << 32);
+                (0..horizon)
+                    .map(|_| random_actions(venv.env(0), &mut rng))
+                    .collect()
+            })
+            .collect();
+        venv.reset_all();
+        let mut recorded: Vec<Vec<(Vec<f32>, u32, bool)>> = vec![Vec::new(); n_envs];
+        #[allow(clippy::needless_range_loop)] // `t` indexes the inner plan vecs
+        for t in 0..horizon {
+            if (0..n_envs).all(|i| venv.is_done(i)) {
+                break;
+            }
+            let actions: Vec<Vec<usize>> = (0..n_envs)
+                .map(|i| if venv.is_done(i) { Vec::new() } else { plans[i][t].clone() })
+                .collect();
+            let live: Vec<bool> = (0..n_envs).map(|i| !venv.is_done(i)).collect();
+            for (i, s) in venv.step_all(&actions).into_iter().enumerate() {
+                if live[i] {
+                    recorded[i].push((s.obs, s.reward.to_bits(), s.done));
+                }
+            }
+        }
+        for (i, plan) in plans.iter().enumerate() {
+            let fresh = build_problem(PLATFORMS[platform_idx], deployment(deployment_idx), false);
+            let mut env = HwEnv::new(&fresh);
+            env.reset();
+            let mut serial = Vec::new();
+            for actions in plan {
+                let s = env.step(actions);
+                let done = s.done;
+                serial.push((s.obs, s.reward.to_bits(), s.done));
+                if done {
+                    break;
+                }
+            }
+            prop_assert_eq!(&recorded[i], &serial, "replica {} diverged", i);
+        }
+    }
+}

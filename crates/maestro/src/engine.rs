@@ -26,15 +26,85 @@
 //! same batch evaluated serially (the seeded-determinism suite enforces
 //! this end to end).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use crate::{CostModel, CostReport, Dataflow, DesignPoint, Layer};
+
+/// FNV-1a hasher for the engine's query maps. An [`EvalQuery`] is a tiny
+/// fixed-shape key and the memo path sits next to ~60ns model runs, so the
+/// standard library's DoS-resistant SipHash costs more than the work it
+/// guards; FNV-1a hashes the same bytes in a fraction of the time and is
+/// just as deterministic.
+#[derive(Debug, Clone)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A query map keyed with the fast hasher.
+type QueryMap<V> = HashMap<EvalQuery, V, FnvBuildHasher>;
+
+/// Indices `0..shards.len()` grouped by shard id (counting sort; original
+/// order preserved within each group), so batch passes can take each
+/// stripe mutex once instead of once per query.
+struct ShardGroups {
+    order: Vec<usize>,
+    bounds: [(usize, usize); SHARD_COUNT],
+}
+
+fn group_by_shard(shards: &[u8]) -> ShardGroups {
+    let mut counts = [0usize; SHARD_COUNT];
+    for &s in shards {
+        counts[s as usize] += 1;
+    }
+    let mut bounds = [(0usize, 0usize); SHARD_COUNT];
+    let mut acc = 0;
+    for (s, &c) in counts.iter().enumerate() {
+        bounds[s] = (acc, acc + c);
+        acc += c;
+    }
+    let mut cursor: [usize; SHARD_COUNT] = std::array::from_fn(|s| bounds[s].0);
+    let mut order = vec![0usize; shards.len()];
+    for (idx, &s) in shards.iter().enumerate() {
+        order[cursor[s as usize]] = idx;
+        cursor[s as usize] += 1;
+    }
+    ShardGroups { order, bounds }
+}
+
+impl ShardGroups {
+    /// Yields each non-empty `(shard index, member indices)` group.
+    fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.bounds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(lo, hi))| hi > lo)
+            .map(|(s, &(lo, hi))| (s, &self.order[lo..hi]))
+    }
+}
 
 /// Number of cache stripes. Contention, not capacity, sets this: 16 shards
 /// keep the expected number of workers per mutex below one for any thread
@@ -43,6 +113,13 @@ pub const SHARD_COUNT: usize = 16;
 
 /// Environment variable overriding the engine's worker count.
 pub const THREADS_ENV: &str = "CONFX_THREADS";
+
+/// Fewest pending (unique-miss) queries per worker that justify fanning a
+/// batch out over the scoped thread pool; below `workers *` this, spawn
+/// latency exceeds what the µs-scale evaluations save and the batch runs
+/// inline. Shared with [`EvalEngine::parallel_batch_target`] so batch
+/// *producers* can size their chunks to keep the pool reachable.
+const MIN_PENDING_PER_WORKER: usize = 256;
 
 /// One cost query: a layer (by index into the engine's layer table), a
 /// dataflow style, and a design point. `Copy` and 32 bytes wide, so batches
@@ -133,7 +210,7 @@ pub struct EvalEngine {
     model: CostModel,
     layers: Vec<Layer>,
     threads: usize,
-    shards: Vec<Mutex<HashMap<EvalQuery, CostReport>>>,
+    shards: Vec<Mutex<QueryMap<CostReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -154,7 +231,7 @@ impl EvalEngine {
             layers,
             threads: threads.max(1),
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(QueryMap::default()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -176,6 +253,20 @@ impl EvalEngine {
         self.threads
     }
 
+    /// Smallest batch size at which an all-miss batch engages the full
+    /// worker pool (`0` when the engine is single-threaded). Batch
+    /// producers that split their work into chunks — e.g.
+    /// `HwProblem::evaluate_lp_batch` keeping its transient buffers
+    /// cache-resident — must not chunk below this, or the pool becomes
+    /// unreachable from their path.
+    pub fn parallel_batch_target(&self) -> usize {
+        if self.threads > 1 {
+            self.threads * MIN_PENDING_PER_WORKER
+        } else {
+            0
+        }
+    }
+
     /// Number of distinct memoized queries across all shards.
     pub fn cache_len(&self) -> usize {
         self.shards
@@ -185,7 +276,7 @@ impl EvalEngine {
     }
 
     fn shard_of(&self, query: &EvalQuery) -> usize {
-        let mut h = DefaultHasher::new();
+        let mut h = FnvHasher::default();
         query.hash(&mut h);
         (h.finish() as usize) % SHARD_COUNT
     }
@@ -217,10 +308,18 @@ impl EvalEngine {
     /// `(index, report)` pairs back over a channel; reassembly by index on
     /// the calling thread makes the result order scheduling-independent.
     fn evaluate_pending(&self, pending: &[EvalQuery]) -> Vec<CostReport> {
-        if self.threads <= 1 || pending.len() < 2 {
+        // Small batches — e.g. one synchronized step of a few vectorized
+        // RL replicas — run inline instead of paying more in spawn latency
+        // than the whole batch costs (see [`MIN_PENDING_PER_WORKER`]).
+        // Results are bit-identical either way; this is purely a
+        // scheduling choice.
+        let workers = self
+            .threads
+            .min(pending.len() / MIN_PENDING_PER_WORKER)
+            .max(1);
+        if workers <= 1 {
             return pending.iter().map(|q| self.evaluate_uncached(q)).collect();
         }
-        let workers = self.threads.min(pending.len());
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, CostReport)>();
         std::thread::scope(|scope| {
@@ -263,24 +362,50 @@ impl CostOracle for EvalEngine {
     }
 
     fn evaluate_batch(&self, queries: &[EvalQuery]) -> Vec<CostReport> {
-        // Pass 1 (calling thread): resolve cache hits and deduplicate the
-        // misses, remembering which result slots each unique miss feeds.
-        let mut results: Vec<Option<CostReport>> = vec![None; queries.len()];
-        let mut pending: Vec<EvalQuery> = Vec::new();
-        let mut pending_index: HashMap<EvalQuery, usize> = HashMap::new();
-        let mut waiting: Vec<(usize, usize)> = Vec::new(); // (slot, pending idx)
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Route every query to its cache stripe up front (one hash each)
+        // and visit slots grouped by stripe, so each stripe mutex is taken
+        // once per batch instead of once per query — on the vectorized-RL
+        // and GA batch shapes the per-query lock traffic otherwise rivals
+        // the cost-model work itself.
+        let shard_of: Vec<u8> = queries.iter().map(|q| self.shard_of(q) as u8).collect();
+        let grouped = group_by_shard(&shard_of);
+        // Pass 1: resolve cache hits stripe by stripe; collect miss slots.
+        // Results go straight into the output vector (placeholder-filled,
+        // no `Option` wrapper or final repack pass): every slot is either
+        // written here as a hit or listed in `miss_slots` and written from
+        // `fresh` below.
+        let mut results: Vec<CostReport> = vec![CostReport::default(); n];
+        let mut miss_slots: Vec<usize> = Vec::new();
         let mut cache_hits = 0u64;
-        for (slot, &query) in queries.iter().enumerate() {
-            if let Some(report) = self.cache_get(&query) {
-                results[slot] = Some(report);
-                cache_hits += 1;
-            } else {
-                let pi = *pending_index.entry(query).or_insert_with(|| {
-                    pending.push(query);
-                    pending.len() - 1
-                });
-                waiting.push((slot, pi));
+        for (shard_idx, slots) in grouped.iter() {
+            let shard = self.shards[shard_idx].lock().expect("cache shard lock");
+            for &slot in slots {
+                if let Some(report) = shard.get(&queries[slot]) {
+                    results[slot] = report.clone();
+                    cache_hits += 1;
+                } else {
+                    miss_slots.push(slot);
+                }
             }
+        }
+        // Deduplicate the misses (only misses pay for the index),
+        // remembering which result slots each unique miss feeds.
+        let mut pending: Vec<EvalQuery> = Vec::new();
+        let mut pending_shard: Vec<u8> = Vec::new();
+        let mut pending_index: QueryMap<usize> =
+            QueryMap::with_capacity_and_hasher(miss_slots.len(), FnvBuildHasher::default());
+        let mut waiting: Vec<(usize, usize)> = Vec::with_capacity(miss_slots.len());
+        for slot in miss_slots {
+            let pi = *pending_index.entry(queries[slot]).or_insert_with(|| {
+                pending.push(queries[slot]);
+                pending_shard.push(shard_of[slot]);
+                pending.len() - 1
+            });
+            waiting.push((slot, pi));
         }
         // Pass 2 (worker pool): evaluate each unique miss exactly once.
         let fresh = self.evaluate_pending(&pending);
@@ -291,16 +416,17 @@ impl CostOracle for EvalEngine {
             .fetch_add(cache_hits + dup_hits, Ordering::Relaxed);
         self.misses
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
-        for (query, report) in pending.iter().zip(&fresh) {
-            self.cache_insert(*query, report.clone());
+        // Pass 3: memoize the fresh reports, again one stripe lock each.
+        for (shard_idx, entries) in group_by_shard(&pending_shard).iter() {
+            let mut shard = self.shards[shard_idx].lock().expect("cache shard lock");
+            for &pi in entries {
+                shard.insert(pending[pi], fresh[pi].clone());
+            }
         }
         for (slot, pi) in waiting {
-            results[slot] = Some(fresh[pi].clone());
+            results[slot] = fresh[pi].clone();
         }
         results
-            .into_iter()
-            .map(|r| r.expect("every slot is a hit or waits on a pending entry"))
-            .collect()
     }
 
     fn stats(&self) -> EvalStats {

@@ -1,8 +1,8 @@
 use tinynn::{Activation, Adam, Matrix, Mlp, Param, Rng};
 
 use crate::{
-    discounted_returns, standardize, Agent, Env, EpochReport, PolicyBackboneKind, PolicyNet,
-    PolicyStep,
+    collect_vec_rollout, discounted_returns, standardize, Agent, Env, EpochReport,
+    PolicyBackboneKind, PolicyNet, PolicyStep, VecEnv,
 };
 
 /// Hyper-parameters for [`Acktr`].
@@ -128,6 +128,55 @@ impl Acktr {
             p.zero_grad();
         }
     }
+
+    /// Natural-gradient actor + critic update for one collected episode,
+    /// shared by the serial and vectorized paths.
+    fn update_episode(
+        &mut self,
+        steps: &[PolicyStep],
+        observations: &[Vec<f32>],
+        rewards: &[f32],
+        feasible_cost: Option<f64>,
+    ) -> EpochReport {
+        let returns = discounted_returns(rewards, self.config.gamma);
+        let mut advantages = Vec::with_capacity(returns.len());
+        for (o, &g) in observations.iter().zip(&returns) {
+            let v = self.critic.infer(&Matrix::row_from_slice(o)).get(0, 0);
+            advantages.push(g - v);
+        }
+        let coefs = if advantages.len() == 1 {
+            // One-step episode (LS mode): the critic baseline already
+            // centers the signal; use it raw but bounded.
+            vec![advantages[0].clamp(-10.0, 10.0)]
+        } else {
+            standardize(&advantages)
+        };
+        if coefs.iter().any(|c| c.abs() > 0.0) {
+            self.policy
+                .backward_episode(steps, &coefs, self.config.entropy_beta, None, None);
+            let mut params = self.policy.params_mut();
+            Self::natural_step(&mut self.fisher, &mut params, &self.config);
+        }
+        // Critic MC regression.
+        self.critic.zero_grad();
+        for (o, &g) in observations.iter().zip(&returns) {
+            let x = Matrix::row_from_slice(o);
+            let (v, cache) = self.critic.forward(&x);
+            let err = v.get(0, 0) - g;
+            let dout = Matrix::from_vec(1, 1, vec![2.0 * err / returns.len() as f32]);
+            self.critic.backward(&cache, &dout);
+        }
+        let mut cparams = self.critic.params_mut();
+        tinynn::clip_global_grad_norm(&mut cparams, 5.0);
+        self.critic_opt.step(&mut cparams);
+        self.critic.zero_grad();
+
+        EpochReport {
+            episode_reward: rewards.iter().sum(),
+            feasible_cost,
+            steps: steps.len(),
+        }
+    }
 }
 
 impl Agent for Acktr {
@@ -148,44 +197,21 @@ impl Agent for Acktr {
             }
             obs = result.obs;
         }
-        let returns = discounted_returns(&rewards, self.config.gamma);
-        let mut advantages = Vec::with_capacity(returns.len());
-        for (o, &g) in observations.iter().zip(&returns) {
-            let v = self.critic.infer(&Matrix::row_from_slice(o)).get(0, 0);
-            advantages.push(g - v);
-        }
-        let coefs = if advantages.len() == 1 {
-            // One-step episode (LS mode): the critic baseline already
-            // centers the signal; use it raw but bounded.
-            vec![advantages[0].clamp(-10.0, 10.0)]
-        } else {
-            standardize(&advantages)
-        };
-        if coefs.iter().any(|c| c.abs() > 0.0) {
-            self.policy
-                .backward_episode(&steps, &coefs, self.config.entropy_beta, None, None);
-            let mut params = self.policy.params_mut();
-            Self::natural_step(&mut self.fisher, &mut params, &self.config);
-        }
-        // Critic MC regression.
-        self.critic.zero_grad();
-        for (o, &g) in observations.iter().zip(&returns) {
-            let x = Matrix::row_from_slice(o);
-            let (v, cache) = self.critic.forward(&x);
-            let err = v.get(0, 0) - g;
-            let dout = Matrix::from_vec(1, 1, vec![2.0 * err / returns.len() as f32]);
-            self.critic.backward(&cache, &dout);
-        }
-        let mut cparams = self.critic.params_mut();
-        tinynn::clip_global_grad_norm(&mut cparams, 5.0);
-        self.critic_opt.step(&mut cparams);
-        self.critic.zero_grad();
+        self.update_episode(&steps, &observations, &rewards, env.outcome_cost())
+    }
 
-        EpochReport {
-            episode_reward: rewards.iter().sum(),
-            feasible_cost: env.outcome_cost(),
-            steps: steps.len(),
-        }
+    fn train_epochs_vec(&mut self, venv: &mut dyn VecEnv, rngs: &mut [Rng]) -> Vec<EpochReport> {
+        let rollout = collect_vec_rollout(&self.policy, venv, rngs);
+        (0..rngs.len())
+            .map(|i| {
+                self.update_episode(
+                    &rollout.steps[i],
+                    &rollout.observations[i],
+                    &rollout.rewards[i],
+                    venv.outcome_cost(i),
+                )
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {

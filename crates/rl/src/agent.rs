@@ -1,6 +1,6 @@
 use tinynn::Rng;
 
-use crate::Env;
+use crate::{Env, EnvSlot, VecEnv};
 
 /// Summary of one training epoch (= one environment episode, the paper's
 /// unit of search budget).
@@ -22,6 +22,41 @@ pub trait Agent {
     /// Runs one episode in `env`, updating the agent's parameters
     /// (possibly buffered across episodes, as in PPO/DDPG).
     fn train_epoch(&mut self, env: &mut dyn Env, rng: &mut Rng) -> EpochReport;
+
+    /// Runs one episode per entry of `rngs` through a vectorized
+    /// environment — replica `i` driven exclusively by `rngs[i]` — and
+    /// applies the same parameter updates as [`Agent::train_epoch`], in
+    /// replica order. Returns one report per episode, in replica order.
+    ///
+    /// The contract every implementation must keep: with `rngs.len() == 1`
+    /// the result (reports, parameter updates, RNG consumption) is
+    /// bit-identical to calling [`Agent::train_epoch`] on replica 0, and
+    /// for any replica count the outcome is a pure function of the RNG
+    /// states (batching cost queries across replicas is a scheduling
+    /// detail, never a semantic one).
+    ///
+    /// The default implementation is the serial reference semantics: each
+    /// replica runs a full `train_epoch` through an [`EnvSlot`] adapter.
+    /// On-policy agents override it to collect all episodes in lockstep
+    /// (one synchronized [`VecEnv::step_all`] per time step) before
+    /// updating, which lets a [`VecEnv`] batch the cost evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len() > venv.n_envs()` or `rngs` is empty.
+    fn train_epochs_vec(&mut self, venv: &mut dyn VecEnv, rngs: &mut [Rng]) -> Vec<EpochReport> {
+        assert!(!rngs.is_empty(), "need at least one RNG stream");
+        assert!(
+            rngs.len() <= venv.n_envs(),
+            "more RNG streams than replicas"
+        );
+        let mut reports = Vec::with_capacity(rngs.len());
+        for (i, rng) in rngs.iter_mut().enumerate() {
+            let mut slot = EnvSlot::new(&mut *venv, i);
+            reports.push(self.train_epoch(&mut slot, rng));
+        }
+        reports
+    }
 
     /// Algorithm name as used in the paper's tables.
     fn name(&self) -> &'static str;

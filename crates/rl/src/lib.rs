@@ -35,6 +35,7 @@ mod replay;
 mod sac;
 mod td3;
 pub mod toy;
+mod vec_env;
 
 pub use a2c::{A2c, A2cConfig};
 pub use acktr::{Acktr, AcktrConfig};
@@ -47,6 +48,7 @@ pub use reinforce::{Reinforce, ReinforceConfig};
 pub use replay::{ReplayBuffer, Transition};
 pub use sac::{Sac, SacConfig};
 pub use td3::{Td3, Td3Config};
+pub use vec_env::{collect_vec_rollout, EnvSlot, EnvVec, VecEnv, VecRollout};
 
 /// Discounted returns `G_t = Σ_{t'≥t} γ^{t'-t} r_{t'}` for one episode.
 pub fn discounted_returns(rewards: &[f32], gamma: f32) -> Vec<f32> {

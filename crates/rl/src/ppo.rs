@@ -1,8 +1,8 @@
 use tinynn::{Activation, Adam, Matrix, Mlp, Rng};
 
 use crate::{
-    discounted_returns, standardize, Agent, Env, EpochReport, PolicyBackboneKind, PolicyNet,
-    PolicyStep,
+    collect_vec_rollout, discounted_returns, standardize, Agent, Env, EpochReport,
+    PolicyBackboneKind, PolicyNet, PolicyStep, VecEnv,
 };
 
 /// Hyper-parameters for [`Ppo`].
@@ -153,6 +153,34 @@ impl Ppo {
         }
         self.buffer.clear();
     }
+
+    /// Buffers one collected episode and flushes an update batch when full;
+    /// shared by the serial and vectorized paths.
+    fn buffer_episode(
+        &mut self,
+        steps: Vec<PolicyStep>,
+        observations: Vec<Vec<f32>>,
+        rewards: &[f32],
+        feasible_cost: Option<f64>,
+    ) -> EpochReport {
+        let report = EpochReport {
+            episode_reward: rewards.iter().sum(),
+            feasible_cost,
+            steps: steps.len(),
+        };
+        let returns = discounted_returns(rewards, self.config.gamma);
+        let old_log_probs = steps.iter().map(|s| s.log_prob).collect();
+        self.buffer.push(BufferedEpisode {
+            steps,
+            observations,
+            returns,
+            old_log_probs,
+        });
+        if self.buffer.len() >= self.config.episodes_per_update {
+            self.update_from_buffer();
+        }
+        report
+    }
 }
 
 impl Agent for Ppo {
@@ -173,23 +201,27 @@ impl Agent for Ppo {
             }
             obs = result.obs;
         }
-        let report = EpochReport {
-            episode_reward: rewards.iter().sum(),
-            feasible_cost: env.outcome_cost(),
-            steps: steps.len(),
-        };
-        let returns = discounted_returns(&rewards, self.config.gamma);
-        let old_log_probs = steps.iter().map(|s| s.log_prob).collect();
-        self.buffer.push(BufferedEpisode {
-            steps,
-            observations,
-            returns,
-            old_log_probs,
-        });
-        if self.buffer.len() >= self.config.episodes_per_update {
-            self.update_from_buffer();
-        }
-        report
+        let feasible_cost = env.outcome_cost();
+        self.buffer_episode(steps, observations, &rewards, feasible_cost)
+    }
+
+    fn train_epochs_vec(&mut self, venv: &mut dyn VecEnv, rngs: &mut [Rng]) -> Vec<EpochReport> {
+        // Episodes are collected under one policy snapshot, then buffered
+        // in replica order; a mid-round flush only touches buffered data,
+        // so the order of updates matches feeding the same episodes
+        // serially.
+        let rollout = collect_vec_rollout(&self.policy, venv, rngs);
+        rollout
+            .steps
+            .into_iter()
+            .zip(rollout.observations)
+            .zip(rollout.rewards)
+            .enumerate()
+            .map(|(i, ((steps, observations), rewards))| {
+                let feasible_cost = venv.outcome_cost(i);
+                self.buffer_episode(steps, observations, &rewards, feasible_cost)
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {

@@ -1,8 +1,8 @@
 use tinynn::{Adam, Rng};
 
 use crate::{
-    discounted_returns, standardize, Agent, Env, EpochReport, PolicyBackboneKind, PolicyNet,
-    PolicyStep,
+    collect_vec_rollout, discounted_returns, standardize, Agent, Env, EpochReport,
+    PolicyBackboneKind, PolicyNet, PolicyStep, VecEnv,
 };
 
 /// Hyper-parameters for [`Reinforce`], the paper's chosen algorithm
@@ -88,6 +88,38 @@ impl Reinforce {
         }
         actions
     }
+
+    /// The policy-gradient update for one collected episode, shared by the
+    /// serial and vectorized paths (identical float-op sequence).
+    fn update_episode(
+        &mut self,
+        steps: &[PolicyStep],
+        rewards: &[f32],
+        feasible_cost: Option<f64>,
+    ) -> EpochReport {
+        let returns = discounted_returns(rewards, self.config.gamma);
+        let coefs = if returns.len() == 1 {
+            // One-step episode: use an EMA baseline instead of per-episode
+            // standardization (which would zero the gradient).
+            let baseline = self.ema_return.unwrap_or(returns[0]);
+            self.ema_return = Some(0.9 * baseline + 0.1 * returns[0]);
+            let scale = baseline.abs().max(1.0);
+            vec![(returns[0] - baseline) / scale]
+        } else {
+            standardize(&returns)
+        };
+        if coefs.iter().any(|c| c.abs() > 0.0) {
+            self.policy
+                .backward_episode(steps, &coefs, self.config.entropy_beta, None, None);
+            self.policy
+                .apply_update(&mut self.opt, self.config.max_grad_norm);
+        }
+        EpochReport {
+            episode_reward: rewards.iter().sum(),
+            feasible_cost,
+            steps: steps.len(),
+        }
+    }
 }
 
 impl Agent for Reinforce {
@@ -106,28 +138,18 @@ impl Agent for Reinforce {
             }
             obs = result.obs;
         }
-        let returns = discounted_returns(&rewards, self.config.gamma);
-        let coefs = if returns.len() == 1 {
-            // One-step episode: use an EMA baseline instead of per-episode
-            // standardization (which would zero the gradient).
-            let baseline = self.ema_return.unwrap_or(returns[0]);
-            self.ema_return = Some(0.9 * baseline + 0.1 * returns[0]);
-            let scale = baseline.abs().max(1.0);
-            vec![(returns[0] - baseline) / scale]
-        } else {
-            standardize(&returns)
-        };
-        if coefs.iter().any(|c| c.abs() > 0.0) {
-            self.policy
-                .backward_episode(&steps, &coefs, self.config.entropy_beta, None, None);
-            self.policy
-                .apply_update(&mut self.opt, self.config.max_grad_norm);
-        }
-        EpochReport {
-            episode_reward: rewards.iter().sum(),
-            feasible_cost: env.outcome_cost(),
-            steps: steps.len(),
-        }
+        self.update_episode(&steps, &rewards, env.outcome_cost())
+    }
+
+    fn train_epochs_vec(&mut self, venv: &mut dyn VecEnv, rngs: &mut [Rng]) -> Vec<EpochReport> {
+        let rollout = collect_vec_rollout(&self.policy, venv, rngs);
+        rollout
+            .steps
+            .iter()
+            .zip(&rollout.rewards)
+            .enumerate()
+            .map(|(i, (steps, rewards))| self.update_episode(steps, rewards, venv.outcome_cost(i)))
+            .collect()
     }
 
     fn name(&self) -> &'static str {

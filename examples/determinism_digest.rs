@@ -7,8 +7,8 @@
 //! Usage: `CONFX_THREADS=8 cargo run --release --example determinism_digest`
 
 use confuciux::{
-    two_stage_search, ConstraintKind, CostOracle, Deployment, HwProblem, Objective, PlatformClass,
-    TwoStageConfig,
+    run_rl_search_vec, two_stage_search, AlgorithmKind, ConstraintKind, CostOracle, Deployment,
+    HwProblem, Objective, PlatformClass, SearchBudget, TwoStageConfig,
 };
 use maestro::{Dataflow, DesignPoint, EvalQuery};
 
@@ -75,6 +75,31 @@ fn main() {
     }
     let stats = problem.eval_stats();
     println!("eval_hits={} eval_misses={}", stats.hits, stats.misses);
+
+    // Vectorized RL-stage digest: the Stage-1 search at n_envs = 1 and 4.
+    // Each line must be bit-identical across CONFX_THREADS values (CI's
+    // determinism matrix diffs this whole file), so the diff covers the
+    // full n_envs x threads cross product. The two lines differ from each
+    // other by design — four replicas draw from four RNG streams.
+    for n_envs in [1usize, 4] {
+        let r = run_rl_search_vec(
+            &problem,
+            AlgorithmKind::Reinforce,
+            SearchBudget { epochs: 60 },
+            7,
+            n_envs,
+        );
+        let mut fnv = Fnv::new();
+        for c in &r.trace {
+            fnv.push(c.to_bits());
+        }
+        println!(
+            "rl_vec_n{}_trace_fnv={:#018x} best_bits={:#018x}",
+            n_envs,
+            fnv.finish(),
+            r.best_cost().map_or(0, f64::to_bits)
+        );
+    }
 
     // Raw engine batch digest: every report field of a fixed query batch,
     // bit for bit, straight off the worker pool.

@@ -1,0 +1,88 @@
+//! Golden-value regression tests for the Stage-1 RL search: the
+//! fixed-seed best cost of every Table V algorithm on the tiny reference
+//! problem, against checked-in constants.
+//!
+//! `run_rl_search` sits under every RL row of the paper's tables, so a
+//! silent behavioral drift anywhere in the stack — policy nets, reward
+//! shaping, RNG streams, the evaluation engine, or the vectorized rollout
+//! machinery — moves these numbers. The constants are the pipeline's
+//! output at the time the vectorized-rollout subsystem landed; they are
+//! identical in debug and release builds (same float-op sequence). If a
+//! future change moves them **on purpose** (an algorithm fix, retuned
+//! hyper-parameters), update the constants in the same commit and say why
+//! in the commit message. `f64` literals round-trip exactly through their
+//! decimal form, so `assert_eq!` is a bit-exact comparison.
+
+use confuciux::{
+    run_rl_search, run_rl_search_vec, AlgorithmKind, ConstraintKind, Deployment, HwProblem,
+    Objective, PlatformClass, SearchBudget,
+};
+use maestro::Dataflow;
+
+const EPOCHS: usize = 40;
+const SEED: u64 = 42;
+
+/// Fixed-seed best cost per algorithm (Table V order, Con'X last).
+const GOLDEN: [(AlgorithmKind, Option<f64>); 7] = [
+    (AlgorithmKind::A2c, Some(181504.0)),
+    (AlgorithmKind::Acktr, Some(177280.0)),
+    (AlgorithmKind::Ppo2, Some(110592.0)),
+    (AlgorithmKind::Ddpg, Some(87040.0)),
+    (AlgorithmKind::Sac, Some(186240.0)),
+    (AlgorithmKind::Td3, Some(125376.0)),
+    (AlgorithmKind::Reinforce, Some(146432.625)),
+];
+
+/// Fixed-seed best cost of the vectorized REINFORCE path at `n_envs = 4`
+/// (different from the serial value — four independent RNG streams — but
+/// just as locked-in).
+const GOLDEN_REINFORCE_VEC4: Option<f64> = Some(175296.625);
+
+fn tiny_problem() -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+#[test]
+fn table5_algorithms_match_golden_best_costs() {
+    let mut drifted = Vec::new();
+    for (kind, expected) in GOLDEN {
+        let r = run_rl_search(&tiny_problem(), kind, SearchBudget { epochs: EPOCHS }, SEED);
+        if r.best_cost().map(f64::to_bits) != expected.map(f64::to_bits) {
+            drifted.push(format!(
+                "{}: got {:?}, golden {:?}",
+                kind.name(),
+                r.best_cost(),
+                expected
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "Table V fixed-seed results drifted (update the constants in this \
+         file in the same commit if the change is intentional):\n  {}",
+        drifted.join("\n  ")
+    );
+}
+
+#[test]
+fn vectorized_reinforce_matches_golden_best_cost() {
+    let r = run_rl_search_vec(
+        &tiny_problem(),
+        AlgorithmKind::Reinforce,
+        SearchBudget { epochs: EPOCHS },
+        SEED,
+        4,
+    );
+    assert_eq!(
+        r.best_cost().map(f64::to_bits),
+        GOLDEN_REINFORCE_VEC4.map(f64::to_bits),
+        "vectorized (n_envs=4) REINFORCE drifted: got {:?}, golden {:?}",
+        r.best_cost(),
+        GOLDEN_REINFORCE_VEC4
+    );
+}

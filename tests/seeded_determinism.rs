@@ -4,8 +4,9 @@
 //! because every table/figure binary reports seed-tagged numbers.
 
 use confuciux::{
-    two_stage_search, ConstraintKind, Deployment, HwProblem, Objective, PlatformClass,
-    TwoStageConfig, TwoStageResult,
+    run_rl_search, run_rl_search_vec, two_stage_search, AlgorithmKind, ConstraintKind, Deployment,
+    HwProblem, Objective, PlatformClass, RlSearchResult, SearchBudget, TwoStageConfig,
+    TwoStageResult,
 };
 use maestro::Dataflow;
 
@@ -129,6 +130,92 @@ fn eval_stats_are_thread_count_invariant() {
     let (global, total) = stats[0];
     assert!(global.total() > 0, "global stage issued no queries");
     assert!(total.hits >= global.hits);
+}
+
+/// Asserts every seed-dependent field of two RL-stage results matches
+/// bit-for-bit (only wall time may differ).
+fn assert_same_search(a: &RlSearchResult, b: &RlSearchResult) {
+    assert_eq!(a.algorithm, b.algorithm);
+    assert_eq!(a.best, b.best, "best assignments differ");
+    let bits = |t: &[f64]| t.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.trace), bits(&b.trace), "traces differ");
+    assert_eq!(
+        a.initial_valid_cost.map(f64::to_bits),
+        b.initial_valid_cost.map(f64::to_bits)
+    );
+    assert_eq!(a.epochs_to_converge, b.epochs_to_converge);
+    assert_eq!(a.param_count, b.param_count);
+    assert_eq!(a.eval_stats, b.eval_stats, "hit/miss counters differ");
+}
+
+#[test]
+fn vectorized_rollout_with_one_replica_is_bit_identical_to_serial() {
+    // The tentpole contract of the VecEnv subsystem: `n_envs = 1` must
+    // reproduce the pre-vectorization serial `run_rl_search` exactly —
+    // same episodes, same updates, same RNG stream, and (because a
+    // single-replica round never pre-batches) the same hit/miss counters.
+    // Covered per agent family: REINFORCE (batched-rollout override),
+    // PPO2 (buffered episodes), DDPG (off-policy serial fallback).
+    for (kind, epochs) in [
+        (AlgorithmKind::Reinforce, 60),
+        (AlgorithmKind::Ppo2, 40),
+        (AlgorithmKind::Ddpg, 16),
+    ] {
+        // Fresh problems so both runs start from a cold memo cache and the
+        // eval-stats comparison is meaningful.
+        let serial = run_rl_search(&problem(), kind, SearchBudget { epochs }, 42);
+        let vec1 = run_rl_search_vec(&problem(), kind, SearchBudget { epochs }, 42, 1);
+        assert_same_search(&serial, &vec1);
+    }
+}
+
+#[test]
+fn vectorized_rollouts_are_deterministic_and_thread_invariant() {
+    // n_envs = 4: the result must be a pure function of (seed, n_envs) —
+    // identical across repeat runs and across worker-pool sizes, even
+    // though each synchronized step batches its cost queries.
+    let budget = SearchBudget { epochs: 50 };
+    let reference = run_rl_search_vec(
+        &problem_with_threads(1),
+        AlgorithmKind::Reinforce,
+        budget,
+        42,
+        4,
+    );
+    // 50 epochs over 4 replicas = 12 full rounds + a partial round of 2;
+    // the budget must be spent exactly.
+    assert_eq!(reference.trace.len(), 50);
+    for threads in [2, 8] {
+        let other = run_rl_search_vec(
+            &problem_with_threads(threads),
+            AlgorithmKind::Reinforce,
+            budget,
+            42,
+            4,
+        );
+        assert_same_search(&reference, &other);
+    }
+    let repeat = run_rl_search_vec(
+        &problem_with_threads(1),
+        AlgorithmKind::Reinforce,
+        budget,
+        42,
+        4,
+    );
+    assert_same_search(&reference, &repeat);
+}
+
+#[test]
+fn two_stage_with_vectorized_stage1_is_deterministic() {
+    let cfg = TwoStageConfig {
+        global_epochs: 60,
+        fine_evaluations: 200,
+        n_envs: 4,
+        ..TwoStageConfig::default()
+    };
+    let r1 = two_stage_search(&problem(), &cfg, 42);
+    let r2 = two_stage_search(&problem(), &cfg, 42);
+    assert_bit_identical(&r1, &r2);
 }
 
 #[test]
