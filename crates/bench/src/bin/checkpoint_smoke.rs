@@ -1,0 +1,162 @@
+//! CI kill-and-resume smoke test: runs a two-stage search uninterrupted,
+//! then kills the same search mid-stage, saves a checkpoint plus cost-cache
+//! sidecar, resumes it on a *fresh* problem (fresh engine, warm cache from
+//! disk), and fails if the resumed result is not bit-identical — including
+//! the cache hit/miss counters, which only match if the persisted cache
+//! round-tripped faithfully.
+//!
+//! Exercised for both a mid-global (RL stage) and a mid-fine (GA stage)
+//! kill point, at the default `--n-envs`.
+
+use std::path::Path;
+
+use confuciux::{
+    two_stage_search, ConstraintKind, EvalStats, HwProblem, Objective, PlatformClass,
+    SearchCheckpoint, TwoStageConfig, TwoStageResult, TwoStageRunner,
+};
+use confuciux_bench::{cache_sidecar, standard_problem, Args};
+use maestro::Dataflow;
+
+/// FNV-1a over a stream of u64s, mirroring `examples/determinism_digest.rs`.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fresh_problem() -> HwProblem {
+    standard_problem(
+        "tiny_cnn",
+        Dataflow::NvdlaStyle,
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    )
+}
+
+fn push_stats(fnv: &mut Fnv, stats: &EvalStats) {
+    fnv.push(stats.hits);
+    fnv.push(stats.misses);
+    fnv.push(stats.evictions);
+}
+
+/// Digest over every seed-determined field of a result: traces, costs,
+/// convergence epoch, and the eval-engine counters of both stages.
+fn digest(result: &TwoStageResult) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.push(result.final_cost().map_or(0, f64::to_bits));
+    fnv.push(result.global.initial_valid_cost.map_or(0, f64::to_bits));
+    fnv.push(
+        result
+            .global
+            .epochs_to_converge
+            .map_or(u64::MAX, |e| e as u64),
+    );
+    fnv.push(result.global.param_count as u64);
+    for c in &result.global.trace {
+        fnv.push(c.to_bits());
+    }
+    push_stats(&mut fnv, &result.global.eval_stats);
+    if let Some(fine) = &result.fine {
+        for c in &fine.trace {
+            fnv.push(c.to_bits());
+        }
+        fnv.push(fine.evaluations as u64);
+        push_stats(&mut fnv, &fine.eval_stats);
+    }
+    fnv.finish()
+}
+
+/// Predicate deciding when a scenario kills the running search.
+type KillFn = fn(&TwoStageRunner) -> bool;
+
+/// Kills the search once `kill` fires, checkpoints to disk, resumes on a
+/// fresh problem with the cache loaded from the sidecar, and finishes.
+fn killed_and_resumed(
+    cfg: &TwoStageConfig,
+    seed: u64,
+    checkpoint_path: &Path,
+    kill: impl Fn(&TwoStageRunner) -> bool,
+) -> TwoStageResult {
+    let victim = fresh_problem();
+    let mut runner = TwoStageRunner::new(&victim, cfg, seed);
+    while !kill(&runner) {
+        assert!(runner.step(), "search finished before the kill point");
+    }
+    let checkpoint = runner.checkpoint().expect("mid-run checkpoint");
+    checkpoint.save(checkpoint_path).expect("save checkpoint");
+    let sidecar = cache_sidecar(checkpoint_path);
+    victim.save_cache(&sidecar).expect("save cache sidecar");
+    drop(runner);
+    drop(victim);
+
+    let resumed_problem = fresh_problem();
+    let reloaded = SearchCheckpoint::load(checkpoint_path).expect("load checkpoint");
+    let entries = resumed_problem
+        .load_cache(&sidecar)
+        .expect("load cache sidecar");
+    assert!(entries > 0, "cache sidecar should not be empty mid-run");
+    TwoStageRunner::resume(&resumed_problem, &reloaded)
+        .expect("resume from checkpoint")
+        .into_result()
+}
+
+fn main() {
+    let args = Args::parse(60);
+    let cfg = TwoStageConfig {
+        global_epochs: args.epochs,
+        fine_evaluations: args.epochs.max(50) * 3,
+        n_envs: args.n_envs,
+        ..TwoStageConfig::default()
+    };
+
+    let uninterrupted = two_stage_search(&fresh_problem(), &cfg, args.seed);
+    let reference = digest(&uninterrupted);
+    println!("uninterrupted_digest={reference:#018x}");
+
+    let mut failed = false;
+    let scenarios: [(&str, KillFn); 2] = [
+        ("mid_global", |r| r.global_epochs_done() >= 8),
+        ("mid_fine", |r| r.fine_evaluations_done() > 30),
+    ];
+    for (name, kill) in scenarios {
+        let path = args.out.join(format!("checkpoint_smoke_{name}.ckpt.json"));
+        let resumed = killed_and_resumed(&cfg, args.seed, &path, kill);
+        let got = digest(&resumed);
+        let stats = resumed.global.eval_stats;
+        let hit_rate = stats.hits as f64 / stats.total().max(1) as f64;
+        println!(
+            "{name}_digest={got:#018x} global_hits={} global_misses={} warm_hit_rate={hit_rate:.3}",
+            stats.hits, stats.misses
+        );
+        if got != reference {
+            eprintln!("FAIL: {name} resume diverged from the uninterrupted run");
+            failed = true;
+        }
+        if stats != uninterrupted.global.eval_stats {
+            eprintln!(
+                "FAIL: {name} warm-cache counters diverged (expected {:?}, got {stats:?})",
+                uninterrupted.global.eval_stats
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("kill-and-resume smoke passed: both kill points resume bit-identically");
+}

@@ -2,12 +2,13 @@
 //! optimization (MobileNet-V2, Obj: latency, Cstr: IoT area) — the
 //! REINFORCE global-search trace followed by the local-GA fine-tuning
 //! trace.
+//!
+//! Supports `--checkpoint PATH` / `--resume PATH` for long budgets: a
+//! killed run resumed from its checkpoint (and cache sidecar) produces a
+//! bit-identical trace.
 
-use confuciux::{
-    format_sci, two_stage_search, write_json, ConstraintKind, Objective, PlatformClass,
-    TwoStageConfig,
-};
-use confuciux_bench::{standard_problem, Args};
+use confuciux::{format_sci, write_json, ConstraintKind, Objective, PlatformClass, TwoStageConfig};
+use confuciux_bench::{run_two_stage_checkpointed, standard_problem, Args};
 use maestro::Dataflow;
 use serde::Serialize;
 
@@ -35,7 +36,7 @@ fn main() {
         n_envs: args.n_envs,
         ..TwoStageConfig::default()
     };
-    let result = two_stage_search(&problem, &cfg, args.seed);
+    let result = run_two_stage_checkpointed(&problem, &cfg, args.seed, &args);
     let trace = TwoStageTrace {
         global: result.global.trace.clone(),
         fine: result

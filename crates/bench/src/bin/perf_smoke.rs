@@ -1,6 +1,7 @@
 //! CI perf-smoke: a short fixed-budget `two_stage_search` plus a
 //! batch-evaluation microbench of the [`EvalEngine`], emitting a
-//! `BENCH_ci.json` artifact (wall time, evals/sec, cache hit rate) and
+//! `BENCH_ci.json` artifact (wall time, evals/sec, cache hit rate, cache
+//! save/load persistence times and eviction counters) and
 //! failing on a >30% regression against the checked-in baseline
 //! (`ci/bench_baseline.json`).
 //!
@@ -71,6 +72,14 @@ struct BenchCi {
     two_stage_queries: u64,
     /// Cache hit rate over the two-stage pipeline.
     cache_hit_rate: f64,
+    /// Entries evicted during the two-stage run (0 unless capacity-capped).
+    cache_evictions: u64,
+    /// Memoized entries round-tripped by the persistence microbench.
+    cache_entries: usize,
+    /// Wall time to serialize the warm cost cache to disk, in ms.
+    cache_save_ms: f64,
+    /// Wall time to load it back into a fresh engine, in ms.
+    cache_load_ms: f64,
     /// Unique queries in the microbench batch.
     batch_queries: usize,
     /// Serial (1-worker) engine throughput on the batch.
@@ -150,6 +159,9 @@ fn main() {
     };
     let mut two_stage_wall_ms = f64::MAX;
     let mut stats = maestro::EvalStats::default();
+    let mut cache_entries = 0usize;
+    let mut cache_save_ms = 0.0f64;
+    let mut cache_load_ms = 0.0f64;
     for rep in 0..3 {
         let problem = standard_problem(
             "tiny_cnn",
@@ -163,6 +175,24 @@ fn main() {
         two_stage_wall_ms = two_stage_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
         if rep == 0 {
             stats = problem.eval_stats();
+            // --- Cache persistence microbench: serialize the warm cache
+            // and reload it into a fresh engine, timing both directions.
+            let cache_path = args.out.join("perf_smoke.cache.jsonl");
+            let t = Instant::now();
+            problem.save_cache(&cache_path).expect("save cache");
+            cache_save_ms = t.elapsed().as_secs_f64() * 1e3;
+            let warm = standard_problem(
+                "tiny_cnn",
+                Dataflow::NvdlaStyle,
+                Objective::Latency,
+                ConstraintKind::Area,
+                PlatformClass::Iot,
+            );
+            let t = Instant::now();
+            cache_entries = warm.load_cache(&cache_path).expect("load cache");
+            cache_load_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(cache_entries > 0, "warm cache round-tripped no entries");
+            std::fs::remove_file(&cache_path).ok();
         }
         assert!(
             result.final_cost().is_some(),
@@ -195,6 +225,10 @@ fn main() {
         two_stage_wall_ms,
         two_stage_queries: stats.total(),
         cache_hit_rate: stats.hit_rate(),
+        cache_evictions: stats.evictions,
+        cache_entries,
+        cache_save_ms,
+        cache_load_ms,
         batch_queries: BATCH_QUERIES,
         serial_evals_per_sec,
         parallel_evals_per_sec,

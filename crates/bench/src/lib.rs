@@ -15,10 +15,25 @@
 //! * `--n-envs N` — environment replicas for vectorized RL rollouts
 //!   (default 4; `1` reproduces the serial pre-vectorization numbers
 //!   bit-for-bit). Results depend on `N` but never on `CONFX_THREADS`.
+//! * `--checkpoint PATH` — in binaries that drive a two-stage search,
+//!   periodically save a resumable [`SearchCheckpoint`] to `PATH` (plus
+//!   the cost cache to `PATH` with a `.cache.jsonl` suffix), so a killed
+//!   run can be continued with `--resume`.
+//! * `--resume PATH` — continue a search from a checkpoint written by
+//!   `--checkpoint`. The seed and search configuration come from the
+//!   checkpoint; the sidecar cache file, if present, warms the engine so
+//!   the resumed run also reproduces cache hit rates.
+//! * `--checkpoint-every N` — steps between checkpoint saves (default 50;
+//!   one step is a rollout round or a GA generation).
+//!
+//! [`SearchCheckpoint`]: confuciux::SearchCheckpoint
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use confuciux::{ConstraintKind, Deployment, HwProblem, Objective, PlatformClass};
+use confuciux::{
+    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass, SearchCheckpoint,
+    TwoStageConfig, TwoStageResult, TwoStageRunner,
+};
 use maestro::Dataflow;
 
 /// Common command-line arguments for experiment binaries.
@@ -34,6 +49,12 @@ pub struct Args {
     pub full: bool,
     /// Environment replicas for vectorized RL rollouts.
     pub n_envs: usize,
+    /// Where to periodically save a resumable search checkpoint.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint to continue a killed search from.
+    pub resume: Option<PathBuf>,
+    /// Steps (rollout rounds / GA generations) between checkpoint saves.
+    pub checkpoint_every: usize,
 }
 
 impl Args {
@@ -49,6 +70,9 @@ impl Args {
             out: PathBuf::from("results"),
             full: false,
             n_envs: 4,
+            checkpoint: None,
+            resume: None,
+            checkpoint_every: 50,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -72,6 +96,24 @@ impl Args {
                     args.n_envs = argv[i].parse().expect("--n-envs takes an integer");
                     assert!(args.n_envs >= 1, "--n-envs must be at least 1");
                 }
+                "--checkpoint" => {
+                    i += 1;
+                    args.checkpoint = Some(PathBuf::from(&argv[i]));
+                }
+                "--resume" => {
+                    i += 1;
+                    args.resume = Some(PathBuf::from(&argv[i]));
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    args.checkpoint_every = argv[i]
+                        .parse()
+                        .expect("--checkpoint-every takes an integer");
+                    assert!(
+                        args.checkpoint_every >= 1,
+                        "--checkpoint-every must be >= 1"
+                    );
+                }
                 other => panic!("unknown argument `{other}` (see crate docs)"),
             }
             i += 1;
@@ -94,6 +136,74 @@ pub fn standard_problem(
         .constraint(constraint, platform)
         .deployment(Deployment::LayerPipelined)
         .build()
+}
+
+/// Sidecar file that stores the cost cache next to a checkpoint, so a
+/// resumed run also reproduces the engine's hit/miss counters.
+pub fn cache_sidecar(checkpoint: &Path) -> PathBuf {
+    checkpoint.with_extension("cache.jsonl")
+}
+
+/// Drives a two-stage search through [`TwoStageRunner`], honouring the
+/// `--checkpoint` / `--resume` / `--checkpoint-every` flags.
+///
+/// With `--resume`, the seed and configuration stored in the checkpoint
+/// take precedence over `cfg`/`seed`, and the sidecar cache (if present)
+/// is loaded before stepping so warm hit rates match the uninterrupted
+/// run. With `--checkpoint`, a [`SearchCheckpoint`] plus cache sidecar is
+/// saved every `checkpoint_every` steps.
+///
+/// # Panics
+///
+/// Panics if the checkpoint or cache files cannot be read or written.
+pub fn run_two_stage_checkpointed(
+    problem: &HwProblem,
+    cfg: &TwoStageConfig,
+    seed: u64,
+    args: &Args,
+) -> TwoStageResult {
+    let mut runner = match &args.resume {
+        Some(path) => {
+            let checkpoint = SearchCheckpoint::load(path)
+                .unwrap_or_else(|e| panic!("failed to load checkpoint {}: {e}", path.display()));
+            let sidecar = cache_sidecar(path);
+            if sidecar.exists() {
+                let entries = problem
+                    .load_cache(&sidecar)
+                    .unwrap_or_else(|e| panic!("failed to load cache {}: {e}", sidecar.display()));
+                eprintln!(
+                    "resumed with {entries} warm cache entries from {}",
+                    sidecar.display()
+                );
+            }
+            TwoStageRunner::resume(problem, &checkpoint)
+                .unwrap_or_else(|e| panic!("failed to resume from {}: {e}", path.display()))
+        }
+        None => TwoStageRunner::new(problem, cfg, seed),
+    };
+    let mut steps = 0usize;
+    loop {
+        let more = runner.step();
+        steps += 1;
+        if let Some(path) = &args.checkpoint {
+            if more && steps.is_multiple_of(args.checkpoint_every) {
+                let checkpoint = runner
+                    .checkpoint()
+                    .expect("a runner that can still step can checkpoint");
+                checkpoint.save(path).unwrap_or_else(|e| {
+                    panic!("failed to save checkpoint {}: {e}", path.display())
+                });
+                let sidecar = cache_sidecar(path);
+                problem
+                    .save_cache(&sidecar)
+                    .unwrap_or_else(|e| panic!("failed to save cache {}: {e}", sidecar.display()));
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+    runner.into_result()
 }
 
 /// Parses a dataflow suffix as used in the paper's tables.

@@ -93,6 +93,22 @@ impl<'p> HwEnv<'p> {
         self.outcome.as_ref()
     }
 
+    /// The environment's cross-episode reward state: the worst (largest)
+    /// per-layer cost observed so far (`-P_min` in the paper's notation),
+    /// which scales the shaped rewards. Everything else in the
+    /// environment resets at each episode; this is the one value a search
+    /// checkpoint must persist for resumed rollouts to see identical
+    /// rewards.
+    pub fn reward_state(&self) -> f64 {
+        self.worst_layer_cost
+    }
+
+    /// Restores cross-episode reward state captured by
+    /// [`HwEnv::reward_state`].
+    pub fn restore_reward_state(&mut self, worst_layer_cost: f64) {
+        self.worst_layer_cost = worst_layer_cost;
+    }
+
     /// Whether the current episode has ended (also true before the first
     /// [`Env::reset`]).
     pub fn is_done(&self) -> bool {

@@ -57,7 +57,9 @@ pub use hwenv::{HwEnv, RewardConfig};
 pub use ls_sweep::{heuristic_a, heuristic_b, per_layer_optima, PerLayerOptimum};
 // Evaluation-engine types re-exported so downstream binaries can reach
 // them without a direct `maestro` dependency edge.
-pub use maestro::{threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, THREADS_ENV};
+pub use maestro::{
+    threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, SerializedCache, THREADS_ENV,
+};
 pub use problem::{HwProblem, HwProblemBuilder};
 pub use report::{format_sci, write_json, ExperimentTable};
 // The vectorized-environment trait is re-exported so downstream binaries
@@ -66,6 +68,8 @@ pub use rl_core::VecEnv;
 pub use search::{
     fine_tune, make_agent, run_baseline, run_rl_search, run_rl_search_vec,
     run_rl_search_vec_with_reward, run_rl_search_with_reward, two_stage_search, AlgorithmKind,
-    BaselineKind, FineTuneResult, RlSearchResult, SearchBudget, TwoStageConfig, TwoStageResult,
+    BaselineKind, FineStageState, FineTuneResult, GlobalStageState, RlResultState, RlSearchResult,
+    SearchBudget, SearchCheckpoint, TwoStageConfig, TwoStageResult, TwoStageRunner,
+    SEARCH_CHECKPOINT_VERSION,
 };
 pub use vecenv::VecHwEnv;

@@ -1,6 +1,7 @@
 use dnn_models::Model;
 use maestro::{
     CostModel, CostOracle, CostReport, Dataflow, DesignPoint, EvalEngine, EvalQuery, EvalStats,
+    SerializedCache,
 };
 
 use crate::{
@@ -44,6 +45,7 @@ impl HwProblem {
             cost_model: CostModel::default(),
             budget_override: None,
             threads: None,
+            cache_capacity: None,
         }
     }
 
@@ -382,6 +384,42 @@ impl HwProblem {
     pub fn eval_stats(&self) -> EvalStats {
         self.engine.stats()
     }
+
+    /// Snapshot of the engine's memo cache in its persistable form.
+    pub fn cache_snapshot(&self) -> SerializedCache {
+        self.engine.to_serialized()
+    }
+
+    /// Loads memoized entries saved by [`HwProblem::cache_snapshot`] into
+    /// the engine (additive; the configured capacity bound still applies).
+    pub fn load_cache_snapshot(&self, cache: &SerializedCache) {
+        self.engine.load_serialized(cache);
+    }
+
+    /// Writes the memo cache to `path` as JSON lines, creating parent
+    /// directories as needed. A later run on the *same problem* can
+    /// [`HwProblem::load_cache`] it to start warm.
+    pub fn save_cache(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.engine.to_serialized().to_json_lines())
+    }
+
+    /// Loads a cache file written by [`HwProblem::save_cache`], returning
+    /// the number of entries in the file. Entries are only meaningful for
+    /// the same model and cost model the file was saved under.
+    pub fn load_cache(&self, path: &std::path::Path) -> Result<usize, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let cache = SerializedCache::from_json_lines(&text)
+            .map_err(|e| format!("bad cache file {}: {e:?}", path.display()))?;
+        let n = cache.len();
+        self.engine.load_serialized(&cache);
+        Ok(n)
+    }
 }
 
 /// Builder for [`HwProblem`] (see [`HwProblem::builder`]).
@@ -397,6 +435,7 @@ pub struct HwProblemBuilder {
     cost_model: CostModel,
     budget_override: Option<f64>,
     threads: Option<usize>,
+    cache_capacity: Option<usize>,
 }
 
 impl HwProblemBuilder {
@@ -459,11 +498,22 @@ impl HwProblemBuilder {
         self
     }
 
+    /// Bounds the engine's memo cache to roughly `capacity` entries
+    /// (oldest entries are evicted per shard once full). The default is
+    /// unbounded — long searches on small models revisit points far too
+    /// often for eviction to pay off — but memory-constrained sweeps over
+    /// many large models can cap it.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// Finalizes the problem, measuring `C_max` and deriving the budget.
     pub fn build(self) -> HwProblem {
         let threads = self.threads.unwrap_or_else(maestro::threads_from_env);
-        let engine =
+        let mut engine =
             EvalEngine::with_threads(self.cost_model, self.model.layers().to_vec(), threads);
+        engine.set_cache_capacity(self.cache_capacity);
         let c_max = HwProblem::measure_c_max(
             &engine,
             self.dataflow,

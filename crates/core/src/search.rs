@@ -2,8 +2,8 @@ use std::time::{Duration, Instant};
 
 use maestro::{Dataflow, DesignPoint, EvalStats};
 use opt_methods::{
-    BatchEval, BayesianOpt, FineSpace, GeneticAlgorithm, GridSearch, LocalGa, LocalGaConfig,
-    Optimizer, RandomSearch, SearchSpace, SimulatedAnnealing,
+    BatchEval, BayesianOpt, FineCursor, FineCursorState, FineSpace, GeneticAlgorithm, GridSearch,
+    LocalGa, LocalGaConfig, Optimizer, RandomSearch, SearchSpace, SimulatedAnnealing,
 };
 use rl_core::{
     A2c, A2cConfig, Acktr, AcktrConfig, Agent, Ddpg, DdpgConfig, Env, PolicyBackboneKind, Ppo,
@@ -214,7 +214,9 @@ pub fn run_rl_search_with_reward(
     };
     for _ in 0..budget.epochs {
         let report = agent.train_epoch(&mut env, &mut rng);
-        if let Some(cost) = report.feasible_cost {
+        // A NaN cost is treated as infeasible: it can neither seed the
+        // initial-valid metric nor become `best`.
+        if let Some(cost) = report.feasible_cost.filter(|c| !c.is_nan()) {
             if result.initial_valid_cost.is_none() {
                 result.initial_valid_cost = Some(cost);
             }
@@ -262,58 +264,242 @@ pub fn run_rl_search_vec_with_reward(
     reward: RewardConfig,
     n_envs: usize,
 ) -> RlSearchResult {
-    let n_envs = n_envs.max(1);
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut venv = VecHwEnv::with_reward(problem, reward, n_envs);
-    let mut agent = make_agent(kind, venv.env(0), &mut rng);
-    // One RNG stream per replica. Replica 0 continues the construction
-    // stream — exactly where the serial path would be after building the
-    // agent, which is what makes `n_envs = 1` bit-identical to
-    // `run_rl_search`. Higher replicas get independent SplitMix-salted
-    // streams derived from the same seed (never drawn from the main
-    // stream, which would perturb replica 0).
-    let mut rngs: Vec<Rng> = Vec::with_capacity(n_envs);
-    rngs.push(rng);
-    for i in 1..n_envs as u64 {
-        rngs.push(Rng::seed_from_u64(
-            seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        ));
+    let mut run = RlVecRun::new(problem, kind, budget, seed, reward, n_envs);
+    while run.step_round() {}
+    run.finish()
+}
+
+/// In-flight state of a vectorized RL search: [`run_rl_search_vec`]
+/// re-expressed as a resumable stepper. One [`RlVecRun::step_round`] call
+/// runs one synchronized rollout round (`min(n_envs, remaining)` epochs),
+/// which is also the checkpoint granularity of the global stage.
+///
+/// A run interrupted with [`RlVecRun::checkpoint`] and rebuilt with
+/// [`RlVecRun::resume`] continues the exact RNG streams and agent weights,
+/// so best/trace/initial-valid are bit-identical to the uninterrupted run;
+/// wall time and engine counters are accumulated across segments.
+struct RlVecRun<'p> {
+    n_envs: usize,
+    venv: VecHwEnv<'p>,
+    agent: Box<dyn Agent>,
+    rngs: Vec<Rng>,
+    result: RlSearchResult,
+    remaining: usize,
+    /// Engine counters at the start of the current process segment.
+    stats_base: EvalStats,
+    /// Engine counters carried over from pre-resume segments.
+    stats_accum: EvalStats,
+    /// Wall time carried over from pre-resume segments.
+    wall_accum: Duration,
+    segment_start: Instant,
+}
+
+impl<'p> RlVecRun<'p> {
+    fn new(
+        problem: &'p HwProblem,
+        kind: AlgorithmKind,
+        budget: SearchBudget,
+        seed: u64,
+        reward: RewardConfig,
+        n_envs: usize,
+    ) -> Self {
+        let n_envs = n_envs.max(1);
+        let mut rng = Rng::seed_from_u64(seed);
+        let venv = VecHwEnv::with_reward(problem, reward, n_envs);
+        let agent = make_agent(kind, venv.env(0), &mut rng);
+        // One RNG stream per replica. Replica 0 continues the construction
+        // stream — exactly where the serial path would be after building the
+        // agent, which is what makes `n_envs = 1` bit-identical to
+        // `run_rl_search`. Higher replicas get independent SplitMix-salted
+        // streams derived from the same seed (never drawn from the main
+        // stream, which would perturb replica 0).
+        let mut rngs: Vec<Rng> = Vec::with_capacity(n_envs);
+        rngs.push(rng);
+        for i in 1..n_envs as u64 {
+            rngs.push(Rng::seed_from_u64(
+                seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ));
+        }
+        let stats_base = problem.eval_stats();
+        let segment_start = Instant::now();
+        let result = RlSearchResult {
+            algorithm: kind.name().to_string(),
+            best: None,
+            trace: Vec::with_capacity(budget.epochs),
+            initial_valid_cost: None,
+            epochs_to_converge: None,
+            wall_time: Duration::ZERO,
+            param_count: agent.param_count(),
+            eval_stats: EvalStats::default(),
+        };
+        RlVecRun {
+            n_envs,
+            venv,
+            agent,
+            rngs,
+            result,
+            remaining: budget.epochs,
+            stats_base,
+            stats_accum: EvalStats::default(),
+            wall_accum: Duration::ZERO,
+            segment_start,
+        }
     }
-    let stats_at_start = problem.eval_stats();
-    let start = Instant::now();
-    let mut result = RlSearchResult {
-        algorithm: kind.name().to_string(),
-        best: None,
-        trace: Vec::with_capacity(budget.epochs),
-        initial_valid_cost: None,
-        epochs_to_converge: None,
-        wall_time: Duration::ZERO,
-        param_count: agent.param_count(),
-        eval_stats: EvalStats::default(),
-    };
-    let mut remaining = budget.epochs;
-    while remaining > 0 {
-        let k = n_envs.min(remaining);
-        let reports = agent.train_epochs_vec(&mut venv, &mut rngs[..k]);
+
+    /// Rebuilds a run from a [`GlobalStageState`], positioned exactly where
+    /// [`RlVecRun::checkpoint`] left off. The agent is constructed the same
+    /// way [`RlVecRun::new`] constructs it (same architecture, same
+    /// construction-RNG draws) and then overlaid with the checkpointed
+    /// weights; the per-replica streams resume from their saved positions.
+    fn resume(
+        problem: &'p HwProblem,
+        kind: AlgorithmKind,
+        budget: SearchBudget,
+        seed: u64,
+        reward: RewardConfig,
+        n_envs: usize,
+        state: &GlobalStageState,
+    ) -> Result<Self, String> {
+        let n_envs = n_envs.max(1);
+        if state.rng_states.len() != n_envs {
+            return Err(format!(
+                "checkpoint has {} RNG streams but n_envs is {n_envs}",
+                state.rng_states.len()
+            ));
+        }
+        if state.trace_bits.len() > budget.epochs {
+            return Err(format!(
+                "checkpoint already spent {} epochs of a {}-epoch budget",
+                state.trace_bits.len(),
+                budget.epochs
+            ));
+        }
+        if state.env_reward_state_bits.len() != n_envs {
+            return Err(format!(
+                "checkpoint has {} replica reward states but n_envs is {n_envs}",
+                state.env_reward_state_bits.len()
+            ));
+        }
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut venv = VecHwEnv::with_reward(problem, reward, n_envs);
+        let reward_states: Vec<f64> = state
+            .env_reward_state_bits
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        venv.restore_reward_states(&reward_states);
+        let mut agent = make_agent(kind, venv.env(0), &mut rng);
+        agent.load_state(&state.agent)?;
+        let rngs: Vec<Rng> = state
+            .rng_states
+            .iter()
+            .map(|&s| Rng::from_state(s))
+            .collect();
+        let trace: Vec<f64> = state
+            .trace_bits
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        let remaining = budget.epochs - trace.len();
+        let param_count = agent.param_count();
+        let result = RlSearchResult {
+            algorithm: kind.name().to_string(),
+            best: state.best.clone(),
+            trace,
+            initial_valid_cost: state.initial_valid_cost_bits.map(f64::from_bits),
+            epochs_to_converge: None,
+            wall_time: Duration::ZERO,
+            param_count,
+            eval_stats: EvalStats::default(),
+        };
+        Ok(RlVecRun {
+            n_envs,
+            venv,
+            agent,
+            rngs,
+            result,
+            remaining,
+            stats_base: problem.eval_stats(),
+            stats_accum: state.eval_stats,
+            wall_accum: Duration::from_nanos(state.wall_nanos),
+            segment_start: Instant::now(),
+        })
+    }
+
+    /// Runs one vectorized rollout round. Returns `true` while epochs
+    /// remain after the round.
+    fn step_round(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        let k = self.n_envs.min(self.remaining);
+        let reports = self
+            .agent
+            .train_epochs_vec(&mut self.venv, &mut self.rngs[..k]);
         for (i, report) in reports.iter().enumerate() {
-            if let Some(cost) = report.feasible_cost {
-                if result.initial_valid_cost.is_none() {
-                    result.initial_valid_cost = Some(cost);
+            // A NaN cost is treated as infeasible: it can neither seed the
+            // initial-valid metric nor become `best`.
+            if let Some(cost) = report.feasible_cost.filter(|c| !c.is_nan()) {
+                if self.result.initial_valid_cost.is_none() {
+                    self.result.initial_valid_cost = Some(cost);
                 }
-                let improved = result.best.as_ref().is_none_or(|b| cost < b.cost);
+                let improved = self.result.best.as_ref().is_none_or(|b| cost < b.cost);
                 if improved {
-                    result.best = venv.last_outcome(i).cloned();
+                    self.result.best = self.venv.last_outcome(i).cloned();
                 }
             }
-            result
+            self.result
                 .trace
-                .push(result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
+                .push(self.result.best.as_ref().map_or(f64::INFINITY, |b| b.cost));
         }
-        remaining -= k;
+        self.remaining -= k;
+        self.remaining > 0
     }
-    result.wall_time = start.elapsed();
-    result.eval_stats = problem.eval_stats().since(stats_at_start);
-    result.finish()
+
+    fn epochs_done(&self) -> usize {
+        self.result.trace.len()
+    }
+
+    /// Engine counters for the whole run so far, across all segments.
+    fn stats_so_far(&self) -> EvalStats {
+        self.stats_accum
+            .plus(self.venv.problem().eval_stats().since(self.stats_base))
+    }
+
+    /// Wall time for the whole run so far, across all segments.
+    fn wall_so_far(&self) -> Duration {
+        self.wall_accum + self.segment_start.elapsed()
+    }
+
+    /// Captures everything needed to continue this run bit-identically.
+    /// Errors for agents without [`Agent::save_state`] support.
+    fn checkpoint(&self) -> Result<GlobalStageState, String> {
+        let agent = self
+            .agent
+            .save_state()
+            .ok_or_else(|| format!("{} does not support checkpointing", self.result.algorithm))?;
+        Ok(GlobalStageState {
+            rng_states: self.rngs.iter().map(|r| r.state()).collect(),
+            env_reward_state_bits: self
+                .venv
+                .reward_states()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect(),
+            agent,
+            best: self.result.best.clone(),
+            trace_bits: self.result.trace.iter().map(|c| c.to_bits()).collect(),
+            initial_valid_cost_bits: self.result.initial_valid_cost.map(f64::to_bits),
+            wall_nanos: self.wall_so_far().as_nanos() as u64,
+            eval_stats: self.stats_so_far(),
+        })
+    }
+
+    fn finish(mut self) -> RlSearchResult {
+        self.result.wall_time = self.wall_so_far();
+        self.result.eval_stats = self.stats_so_far();
+        self.result.finish()
+    }
 }
 
 /// Decodes a coarse LP genome into per-layer assignments (no evaluation).
@@ -500,7 +686,7 @@ fn decode_fine_layers(genome: &[i64], dataflows: &[Dataflow]) -> Vec<LayerAssign
 /// engine at once.
 struct FineBatchObjective<'a> {
     problem: &'a HwProblem,
-    dataflows: &'a [Dataflow],
+    dataflows: Vec<Dataflow>,
 }
 
 impl BatchEval<i64> for FineBatchObjective<'_> {
@@ -509,7 +695,7 @@ impl BatchEval<i64> for FineBatchObjective<'_> {
             Deployment::LayerPipelined => {
                 let candidates: Vec<Vec<LayerAssignment>> = genomes
                     .iter()
-                    .map(|g| decode_fine_layers(g, self.dataflows))
+                    .map(|g| decode_fine_layers(g, &self.dataflows))
                     .collect();
                 self.problem
                     .evaluate_lp_batch(&candidates)
@@ -521,7 +707,7 @@ impl BatchEval<i64> for FineBatchObjective<'_> {
                 let configs: Vec<(Dataflow, DesignPoint)> = genomes
                     .iter()
                     .map(|g| {
-                        let la = &decode_fine_layers(g, self.dataflows)[0];
+                        let la = &decode_fine_layers(g, &self.dataflows)[0];
                         (la.dataflow, la.point)
                     })
                     .collect();
@@ -544,7 +730,15 @@ pub fn fine_tune(
     evaluations: usize,
     seed: u64,
 ) -> FineTuneResult {
-    let mut rng = Rng::seed_from_u64(seed);
+    let mut run = FineRun::new(problem, coarse, evaluations, seed);
+    while run.step_generation() {}
+    run.finish()
+}
+
+/// Builds the fine-stage search space, initial genome, and per-layer
+/// dataflows from a coarse assignment (shared by fresh and resumed runs,
+/// which must agree exactly).
+fn fine_setup(problem: &HwProblem, coarse: &Assignment) -> (FineSpace, Vec<i64>, Vec<Dataflow>) {
     let n = coarse.layers.len();
     let (max_pe, max_tile) = problem.actions().max_pair();
     let mut lo = Vec::with_capacity(2 * n);
@@ -559,30 +753,127 @@ pub fn fine_tune(
         init.push(la.point.tile() as i64);
     }
     let space = FineSpace::new(lo, hi);
-    let dataflows: Vec<Dataflow> = coarse.layers.iter().map(|l| l.dataflow).collect();
-    let mut eval = FineBatchObjective {
-        problem,
-        dataflows: &dataflows,
-    };
-    let stats_at_start = problem.eval_stats();
-    let start = Instant::now();
-    let ga = LocalGa::new(LocalGaConfig::default());
-    let outcome = ga.run_batch(&space, &init, evaluations, &mut eval, &mut rng);
-    let wall_time = start.elapsed();
-    let best = outcome.best.as_ref().map(|(genome, _)| {
-        let layers = decode_fine_layers(genome, &dataflows);
-        match problem.deployment() {
-            Deployment::LayerPipelined => problem.evaluate_lp(&layers),
-            Deployment::LayerSequential => problem.evaluate_ls(layers[0].dataflow, layers[0].point),
+    let dataflows = coarse.layers.iter().map(|l| l.dataflow).collect();
+    (space, init, dataflows)
+}
+
+/// In-flight state of one fine-tuning run: [`fine_tune`] re-expressed as a
+/// resumable stepper whose checkpoint granularity is one GA generation.
+struct FineRun<'p> {
+    problem: &'p HwProblem,
+    ga: LocalGa,
+    space: FineSpace,
+    eval: FineBatchObjective<'p>,
+    cursor: FineCursor,
+    rng: Rng,
+    budget: usize,
+    /// Engine counters at the start of the current process segment.
+    stats_base: EvalStats,
+    /// Engine counters carried over from pre-resume segments.
+    stats_accum: EvalStats,
+    /// Wall time carried over from pre-resume segments.
+    wall_accum: Duration,
+    segment_start: Instant,
+}
+
+impl<'p> FineRun<'p> {
+    fn new(problem: &'p HwProblem, coarse: &Assignment, evaluations: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (space, init, dataflows) = fine_setup(problem, coarse);
+        let mut eval = FineBatchObjective { problem, dataflows };
+        let stats_base = problem.eval_stats();
+        let segment_start = Instant::now();
+        let ga = LocalGa::new(LocalGaConfig::default());
+        let cursor = ga.start_batch(&space, &init, evaluations, &mut eval, &mut rng);
+        FineRun {
+            problem,
+            ga,
+            space,
+            eval,
+            cursor,
+            rng,
+            budget: evaluations,
+            stats_base,
+            stats_accum: EvalStats::default(),
+            wall_accum: Duration::ZERO,
+            segment_start,
         }
-        .expect("best genome was feasible when recorded")
-    });
-    FineTuneResult {
-        best,
-        trace: outcome.trace,
-        evaluations: outcome.evaluations,
-        wall_time,
-        eval_stats: problem.eval_stats().since(stats_at_start),
+    }
+
+    /// Rebuilds a run from a [`FineStageState`]. The space and dataflows
+    /// are re-derived from the same coarse assignment; population, trace,
+    /// and RNG position come from the snapshot.
+    fn resume(
+        problem: &'p HwProblem,
+        coarse: &Assignment,
+        evaluations: usize,
+        state: &FineStageState,
+    ) -> Self {
+        let (space, _init, dataflows) = fine_setup(problem, coarse);
+        FineRun {
+            problem,
+            ga: LocalGa::new(LocalGaConfig::default()),
+            space,
+            eval: FineBatchObjective { problem, dataflows },
+            cursor: FineCursor::restore(&state.cursor),
+            rng: Rng::from_state(state.rng_state),
+            budget: evaluations,
+            stats_base: problem.eval_stats(),
+            stats_accum: state.eval_stats,
+            wall_accum: Duration::from_nanos(state.wall_nanos),
+            segment_start: Instant::now(),
+        }
+    }
+
+    /// Runs one GA generation; `false` once the budget is exhausted.
+    fn step_generation(&mut self) -> bool {
+        self.ga.step_generation(
+            &self.space,
+            self.budget,
+            &mut self.cursor,
+            &mut self.eval,
+            &mut self.rng,
+        )
+    }
+
+    fn evaluations_done(&self) -> usize {
+        self.cursor.outcome().evaluations
+    }
+
+    /// Captures everything needed to continue this run bit-identically.
+    fn checkpoint(&self) -> FineStageState {
+        FineStageState {
+            rng_state: self.rng.state(),
+            cursor: self.cursor.snapshot(),
+            wall_nanos: (self.wall_accum + self.segment_start.elapsed()).as_nanos() as u64,
+            eval_stats: self
+                .stats_accum
+                .plus(self.problem.eval_stats().since(self.stats_base)),
+        }
+    }
+
+    fn finish(self) -> FineTuneResult {
+        let wall_time = self.wall_accum + self.segment_start.elapsed();
+        let outcome = self.cursor.into_outcome();
+        let best = outcome.best.as_ref().map(|(genome, _)| {
+            let layers = decode_fine_layers(genome, &self.eval.dataflows);
+            match self.problem.deployment() {
+                Deployment::LayerPipelined => self.problem.evaluate_lp(&layers),
+                Deployment::LayerSequential => self
+                    .problem
+                    .evaluate_ls(layers[0].dataflow, layers[0].point),
+            }
+            .expect("best genome was feasible when recorded")
+        });
+        FineTuneResult {
+            best,
+            trace: outcome.trace,
+            evaluations: outcome.evaluations,
+            wall_time,
+            eval_stats: self
+                .stats_accum
+                .plus(self.problem.eval_stats().since(self.stats_base)),
+        }
     }
 }
 
@@ -640,20 +931,378 @@ impl TwoStageResult {
 
 /// Runs the complete ConfuciuX pipeline.
 pub fn two_stage_search(problem: &HwProblem, config: &TwoStageConfig, seed: u64) -> TwoStageResult {
-    let global = run_rl_search_vec(
-        problem,
-        config.algorithm,
-        SearchBudget {
-            epochs: config.global_epochs,
-        },
-        seed,
-        config.n_envs,
-    );
-    let fine = global
-        .best
-        .as_ref()
-        .map(|coarse| fine_tune(problem, coarse, config.fine_evaluations, seed ^ 0x5eed));
-    TwoStageResult { global, fine }
+    TwoStageRunner::new(problem, config, seed).into_result()
+}
+
+/// Checkpoint format version; bumped whenever the on-disk layout changes
+/// incompatibly. [`TwoStageRunner::resume`] rejects other versions.
+pub const SEARCH_CHECKPOINT_VERSION: u32 = 1;
+
+/// Serializable mid-stage state of the global RL search. Floats that may
+/// be non-finite (the `inf` trace sentinel) are stored bit-for-bit as
+/// `u64`, so a JSON round trip is exact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalStageState {
+    /// Post-round xoshiro states, one per environment replica.
+    pub rng_states: Vec<[u64; 4]>,
+    /// Bit-encoded per-replica cross-episode reward state
+    /// ([`HwEnv::reward_state`]), which scales the shaped rewards and
+    /// must survive a resume for rollouts to continue identically.
+    ///
+    /// [`HwEnv::reward_state`]: crate::HwEnv::reward_state
+    pub env_reward_state_bits: Vec<u64>,
+    /// Agent weights and optimizer state from [`Agent::save_state`].
+    pub agent: serde::Value,
+    /// Best feasible assignment so far.
+    pub best: Option<Assignment>,
+    /// Bit-encoded best-so-far trace (also encodes epochs done).
+    pub trace_bits: Vec<u64>,
+    /// Bit-encoded first feasible cost.
+    pub initial_valid_cost_bits: Option<u64>,
+    /// Wall time spent in the stage so far, summed across segments.
+    pub wall_nanos: u64,
+    /// Engine counters consumed by the stage so far, summed across
+    /// segments.
+    pub eval_stats: EvalStats,
+}
+
+/// Serializable mid-stage state of the fine-tuning GA.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FineStageState {
+    /// Post-generation xoshiro state of the fine-stage RNG.
+    pub rng_state: [u64; 4],
+    /// GA population and accumulated outcome.
+    pub cursor: FineCursorState,
+    /// Wall time spent in the stage so far, summed across segments.
+    pub wall_nanos: u64,
+    /// Engine counters consumed by the stage so far, summed across
+    /// segments.
+    pub eval_stats: EvalStats,
+}
+
+/// Serializable form of a completed [`RlSearchResult`] (stored in a
+/// checkpoint once the fine stage has begun). Traces are bit-encoded
+/// because they legitimately contain `f64::INFINITY`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlResultState {
+    /// Method name.
+    pub algorithm: String,
+    /// Best feasible assignment found.
+    pub best: Option<Assignment>,
+    /// Bit-encoded best-so-far trace.
+    pub trace_bits: Vec<u64>,
+    /// Bit-encoded first feasible cost.
+    pub initial_valid_cost_bits: Option<u64>,
+    /// Epochs until within 10% of the final best.
+    pub epochs_to_converge: Option<usize>,
+    /// Wall-clock time, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Trainable scalar parameters.
+    pub param_count: usize,
+    /// Engine counters for the stage.
+    pub eval_stats: EvalStats,
+}
+
+impl RlResultState {
+    fn of(result: &RlSearchResult) -> Self {
+        RlResultState {
+            algorithm: result.algorithm.clone(),
+            best: result.best.clone(),
+            trace_bits: result.trace.iter().map(|c| c.to_bits()).collect(),
+            initial_valid_cost_bits: result.initial_valid_cost.map(f64::to_bits),
+            epochs_to_converge: result.epochs_to_converge,
+            wall_nanos: result.wall_time.as_nanos() as u64,
+            param_count: result.param_count,
+            eval_stats: result.eval_stats,
+        }
+    }
+
+    fn to_result(&self) -> RlSearchResult {
+        RlSearchResult {
+            algorithm: self.algorithm.clone(),
+            best: self.best.clone(),
+            trace: self.trace_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            initial_valid_cost: self.initial_valid_cost_bits.map(f64::from_bits),
+            epochs_to_converge: self.epochs_to_converge,
+            wall_time: Duration::from_nanos(self.wall_nanos),
+            param_count: self.param_count,
+            eval_stats: self.eval_stats,
+        }
+    }
+}
+
+/// A saved position inside a two-stage search, produced by
+/// [`TwoStageRunner::checkpoint`] and consumed by
+/// [`TwoStageRunner::resume`]. Exactly one stage is in flight: either
+/// `global` is set (stage 1 running), or `global_result` + `fine` are set
+/// (stage 1 done, stage 2 running).
+///
+/// The checkpoint records the search configuration and seed, but *not* the
+/// problem: the caller must rebuild the same [`HwProblem`] (same model,
+/// objective, constraint, deployment) before resuming — the checkpoint
+/// only stores genome-space state, which is meaningless against a
+/// different problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Format version ([`SEARCH_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Seed of the run being checkpointed.
+    pub seed: u64,
+    /// Configuration of the run being checkpointed; resume re-uses it.
+    pub config: TwoStageConfig,
+    /// Stage-1 in-flight state, if stage 1 was running.
+    pub global: Option<GlobalStageState>,
+    /// Completed stage-1 result, once stage 2 has started.
+    pub global_result: Option<RlResultState>,
+    /// Stage-2 in-flight state, if stage 2 was running.
+    pub fine: Option<FineStageState>,
+}
+
+impl SearchCheckpoint {
+    /// Pretty-printed JSON form of the checkpoint.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint state is always serializable")
+    }
+
+    /// Parses a checkpoint written by [`SearchCheckpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad checkpoint: {e:?}"))
+    }
+
+    /// Writes the checkpoint to `path` as JSON, creating parent
+    /// directories as needed.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a checkpoint previously written by [`SearchCheckpoint::save`].
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+enum RunnerStage<'p> {
+    Global(RlVecRun<'p>),
+    Fine {
+        global: RlSearchResult,
+        run: FineRun<'p>,
+    },
+    Done(TwoStageResult),
+}
+
+/// The complete ConfuciuX pipeline as a resumable stepper.
+/// [`two_stage_search`] is exactly `TwoStageRunner::new(..).into_result()`;
+/// interleaving [`TwoStageRunner::checkpoint`] calls between steps (and
+/// resuming from the saved state, even in a new process) does not change
+/// the result: best assignments, traces, and the determinism digest are
+/// bit-identical to the uninterrupted run. Wall time and evaluation-engine
+/// counters are accumulated across the segments of a resumed run, so a
+/// same-process kill-and-resume reproduces those too; across processes the
+/// engine cache is cold unless the caller also persists it
+/// (`HwProblem::save_cache` / `load_cache`), which restores the hit rates.
+///
+/// One [`TwoStageRunner::step`] is one unit of stage work: a vectorized
+/// rollout round (`min(n_envs, epochs remaining)` epochs) during stage 1,
+/// one GA generation during stage 2, including the stage transition when
+/// the budget of the current stage runs out.
+pub struct TwoStageRunner<'p> {
+    problem: &'p HwProblem,
+    config: TwoStageConfig,
+    seed: u64,
+    // `None` only transiently inside `step`.
+    stage: Option<RunnerStage<'p>>,
+}
+
+impl<'p> TwoStageRunner<'p> {
+    /// Starts a fresh two-stage search.
+    pub fn new(problem: &'p HwProblem, config: &TwoStageConfig, seed: u64) -> Self {
+        let run = RlVecRun::new(
+            problem,
+            config.algorithm,
+            SearchBudget {
+                epochs: config.global_epochs,
+            },
+            seed,
+            RewardConfig::default(),
+            config.n_envs,
+        );
+        TwoStageRunner {
+            problem,
+            config: config.clone(),
+            seed,
+            stage: Some(RunnerStage::Global(run)),
+        }
+    }
+
+    /// Continues a search from a saved checkpoint. The seed and
+    /// configuration come from the checkpoint; `problem` must be rebuilt
+    /// identically to the checkpointed run's.
+    pub fn resume(problem: &'p HwProblem, checkpoint: &SearchCheckpoint) -> Result<Self, String> {
+        if checkpoint.version != SEARCH_CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {SEARCH_CHECKPOINT_VERSION})",
+                checkpoint.version
+            ));
+        }
+        let config = checkpoint.config.clone();
+        let seed = checkpoint.seed;
+        let stage = if let Some(global) = &checkpoint.global {
+            RunnerStage::Global(RlVecRun::resume(
+                problem,
+                config.algorithm,
+                SearchBudget {
+                    epochs: config.global_epochs,
+                },
+                seed,
+                RewardConfig::default(),
+                config.n_envs,
+                global,
+            )?)
+        } else if let (Some(global_result), Some(fine)) =
+            (&checkpoint.global_result, &checkpoint.fine)
+        {
+            let global = global_result.to_result();
+            let coarse = global
+                .best
+                .clone()
+                .ok_or_else(|| "checkpoint has a fine stage but no coarse best".to_string())?;
+            let run = FineRun::resume(problem, &coarse, config.fine_evaluations, fine);
+            RunnerStage::Fine { global, run }
+        } else {
+            return Err("malformed checkpoint: no stage state".to_string());
+        };
+        Ok(TwoStageRunner {
+            problem,
+            config,
+            seed,
+            stage: Some(stage),
+        })
+    }
+
+    /// Advances the search by one unit of work. Returns `true` while work
+    /// remains.
+    pub fn step(&mut self) -> bool {
+        let stage = self.stage.take().expect("runner stage present");
+        let (next, more) = match stage {
+            RunnerStage::Global(mut run) => {
+                if run.step_round() {
+                    (RunnerStage::Global(run), true)
+                } else {
+                    let global = run.finish();
+                    match global.best.clone() {
+                        Some(coarse) => {
+                            let run = FineRun::new(
+                                self.problem,
+                                &coarse,
+                                self.config.fine_evaluations,
+                                self.seed ^ 0x5eed,
+                            );
+                            (RunnerStage::Fine { global, run }, true)
+                        }
+                        None => (
+                            RunnerStage::Done(TwoStageResult { global, fine: None }),
+                            false,
+                        ),
+                    }
+                }
+            }
+            RunnerStage::Fine { global, mut run } => {
+                if run.step_generation() {
+                    (RunnerStage::Fine { global, run }, true)
+                } else {
+                    let fine = run.finish();
+                    (
+                        RunnerStage::Done(TwoStageResult {
+                            global,
+                            fine: Some(fine),
+                        }),
+                        false,
+                    )
+                }
+            }
+            RunnerStage::Done(result) => (RunnerStage::Done(result), false),
+        };
+        self.stage = Some(next);
+        more
+    }
+
+    /// Saves the current position. Errors once the search is complete
+    /// (there is nothing left to resume) and for stage-1 agents without
+    /// [`Agent::save_state`] support.
+    pub fn checkpoint(&self) -> Result<SearchCheckpoint, String> {
+        let base = SearchCheckpoint {
+            version: SEARCH_CHECKPOINT_VERSION,
+            seed: self.seed,
+            config: self.config.clone(),
+            global: None,
+            global_result: None,
+            fine: None,
+        };
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Global(run) => Ok(SearchCheckpoint {
+                global: Some(run.checkpoint()?),
+                ..base
+            }),
+            RunnerStage::Fine { global, run } => Ok(SearchCheckpoint {
+                global_result: Some(RlResultState::of(global)),
+                fine: Some(run.checkpoint()),
+                ..base
+            }),
+            RunnerStage::Done(_) => {
+                Err("search already complete; nothing to checkpoint".to_string())
+            }
+        }
+    }
+
+    /// True once both stages have finished.
+    pub fn is_done(&self) -> bool {
+        matches!(
+            self.stage.as_ref().expect("runner stage present"),
+            RunnerStage::Done(_)
+        )
+    }
+
+    /// Stage-1 epochs completed so far.
+    pub fn global_epochs_done(&self) -> usize {
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Global(run) => run.epochs_done(),
+            RunnerStage::Fine { global, .. } => global.trace.len(),
+            RunnerStage::Done(result) => result.global.trace.len(),
+        }
+    }
+
+    /// Stage-2 evaluations completed so far.
+    pub fn fine_evaluations_done(&self) -> usize {
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Global(_) => 0,
+            RunnerStage::Fine { run, .. } => run.evaluations_done(),
+            RunnerStage::Done(result) => result.fine.as_ref().map_or(0, |f| f.evaluations),
+        }
+    }
+
+    /// The finished result, if [`TwoStageRunner::is_done`].
+    pub fn result(&self) -> Option<&TwoStageResult> {
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Done(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Runs the search to completion and returns the result.
+    pub fn into_result(mut self) -> TwoStageResult {
+        while self.step() {}
+        match self.stage.take().expect("runner stage present") {
+            RunnerStage::Done(result) => result,
+            _ => unreachable!("step() returned false before reaching Done"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -728,6 +1377,128 @@ mod tests {
             assert!(r.final_cost().unwrap() <= r.global.best_cost().unwrap() + 1e-9);
             assert!(fine.evaluations <= 200);
         }
+    }
+
+    /// Bit-level equality of two search results, ignoring wall time.
+    /// `Debug` for `f64` prints the shortest round-trip form, so equal
+    /// debug strings mean equal bits for every finite/infinite cost.
+    fn assert_results_equal(a: &TwoStageResult, b: &TwoStageResult) {
+        assert_eq!(a.global.algorithm, b.global.algorithm);
+        assert_eq!(
+            format!("{:?}", a.global.best),
+            format!("{:?}", b.global.best)
+        );
+        let bits = |t: &[f64]| t.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.global.trace), bits(&b.global.trace));
+        assert_eq!(
+            a.global.initial_valid_cost.map(f64::to_bits),
+            b.global.initial_valid_cost.map(f64::to_bits)
+        );
+        assert_eq!(a.global.epochs_to_converge, b.global.epochs_to_converge);
+        assert_eq!(a.global.param_count, b.global.param_count);
+        assert_eq!(a.global.eval_stats, b.global.eval_stats);
+        assert_eq!(a.fine.is_some(), b.fine.is_some());
+        if let (Some(fa), Some(fb)) = (&a.fine, &b.fine) {
+            assert_eq!(format!("{:?}", fa.best), format!("{:?}", fb.best));
+            assert_eq!(bits(&fa.trace), bits(&fb.trace));
+            assert_eq!(fa.evaluations, fb.evaluations);
+            assert_eq!(fa.eval_stats, fb.eval_stats);
+        }
+    }
+
+    fn small_config() -> TwoStageConfig {
+        TwoStageConfig {
+            global_epochs: 30,
+            fine_evaluations: 150,
+            ..TwoStageConfig::default()
+        }
+    }
+
+    #[test]
+    fn runner_matches_two_stage_search_step_for_step() {
+        let cfg = small_config();
+        let direct = two_stage_search(&tiny_problem(), &cfg, 19);
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 19);
+        while runner.step() {}
+        assert!(runner.is_done());
+        assert_results_equal(runner.result().unwrap(), &direct);
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_global_is_bit_identical() {
+        let cfg = small_config();
+        let uninterrupted = two_stage_search(&tiny_problem(), &cfg, 19);
+
+        // Same search, killed after 5 global epochs. The checkpoint goes
+        // through JSON text (as a file would) and the resumed runner picks
+        // up on the same problem instance, whose cache is warm exactly as
+        // the uninterrupted run's would be at that point.
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 19);
+        for _ in 0..5 {
+            assert!(runner.step());
+        }
+        assert_eq!(runner.global_epochs_done(), 5);
+        let checkpoint = SearchCheckpoint::from_json(&runner.checkpoint().unwrap().to_json())
+            .expect("checkpoint round-trips through JSON");
+        drop(runner);
+
+        let resumed = TwoStageRunner::resume(&problem, &checkpoint)
+            .expect("resume from mid-global checkpoint")
+            .into_result();
+        assert_results_equal(&resumed, &uninterrupted);
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_fine_is_bit_identical() {
+        let cfg = small_config();
+        let uninterrupted = two_stage_search(&tiny_problem(), &cfg, 19);
+        assert!(
+            uninterrupted.fine.is_some(),
+            "seed 19 must reach the fine stage for this test to bite"
+        );
+
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 19);
+        while runner.fine_evaluations_done() == 0 {
+            assert!(runner.step(), "search ended before the fine stage");
+        }
+        assert!(runner.step(), "fine stage over before a checkpoint fit");
+        let checkpoint = SearchCheckpoint::from_json(&runner.checkpoint().unwrap().to_json())
+            .expect("checkpoint round-trips through JSON");
+        assert!(checkpoint.global.is_none());
+        assert!(checkpoint.global_result.is_some() && checkpoint.fine.is_some());
+        drop(runner);
+
+        let resumed = TwoStageRunner::resume(&problem, &checkpoint)
+            .expect("resume from mid-fine checkpoint")
+            .into_result();
+        assert_results_equal(&resumed, &uninterrupted);
+    }
+
+    #[test]
+    fn checkpoint_after_completion_errors() {
+        let cfg = TwoStageConfig {
+            global_epochs: 5,
+            fine_evaluations: 30,
+            ..TwoStageConfig::default()
+        };
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 3);
+        while runner.step() {}
+        assert!(runner.checkpoint().is_err());
+    }
+
+    #[test]
+    fn resume_rejects_unknown_checkpoint_version() {
+        let problem = tiny_problem();
+        let cfg = small_config();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 19);
+        runner.step();
+        let mut checkpoint = runner.checkpoint().unwrap();
+        checkpoint.version += 1;
+        assert!(TwoStageRunner::resume(&problem, &checkpoint).is_err());
     }
 
     #[test]

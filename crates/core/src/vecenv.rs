@@ -71,6 +71,25 @@ impl<'p> VecHwEnv<'p> {
         self.envs[i].last_outcome()
     }
 
+    /// Per-replica cross-episode reward state (see
+    /// [`HwEnv::reward_state`]), in replica order.
+    pub fn reward_states(&self) -> Vec<f64> {
+        self.envs.iter().map(HwEnv::reward_state).collect()
+    }
+
+    /// Restores per-replica reward state captured by
+    /// [`VecHwEnv::reward_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is not one value per replica.
+    pub fn restore_reward_states(&mut self, states: &[f64]) {
+        assert_eq!(states.len(), self.envs.len(), "one state per replica");
+        for (env, &s) in self.envs.iter_mut().zip(states) {
+            env.restore_reward_state(s);
+        }
+    }
+
     /// Steps the live replicas through one fused engine batch: decode
     /// every live replica's action, price all the resulting cost queries
     /// at once (misses fan out over the worker pool, duplicates across

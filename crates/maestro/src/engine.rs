@@ -26,10 +26,10 @@
 //! same batch evaluated serially (the seeded-determinism suite enforces
 //! this end to end).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +147,9 @@ pub struct EvalStats {
     pub hits: u64,
     /// Queries that ran the cost model (== fresh evaluations).
     pub misses: u64,
+    /// Memoized entries dropped to stay within the cache capacity
+    /// (always 0 for an unbounded engine).
+    pub evictions: u64,
 }
 
 impl EvalStats {
@@ -164,11 +167,22 @@ impl EvalStats {
         }
     }
 
+    /// Field-wise sum of two counter deltas (merging the segments of a
+    /// checkpointed-and-resumed run into one per-run total).
+    pub fn plus(&self, other: EvalStats) -> EvalStats {
+        EvalStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
     /// Counter delta since an earlier snapshot (for per-run reporting).
     pub fn since(&self, earlier: EvalStats) -> EvalStats {
         EvalStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -202,6 +216,91 @@ pub trait CostOracle {
     fn stats(&self) -> EvalStats;
 }
 
+/// The engine's flat, order-preserving serialized cache image: every
+/// memoized `(query, report)` pair, shard by shard in insertion order.
+///
+/// This is the `SerializedMap ↔ Map` idiom: only the raw entries are
+/// persisted; the shard assignment and FNV indices are *derived* state and
+/// are rebuilt on load. The entry order is deterministic (shards in index
+/// order, entries in insertion order within each shard), so saving the same
+/// cache twice produces byte-identical text, and loading replays inserts in
+/// an order that reproduces the FIFO eviction queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SerializedCache {
+    /// Memoized entries, in deterministic shard-then-insertion order.
+    pub entries: Vec<(EvalQuery, CostReport)>,
+}
+
+impl SerializedCache {
+    /// Number of serialized entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the cache as compact JSON-lines: one `[query, report]` pair
+    /// per line. Line-oriented output keeps huge caches diffable and lets a
+    /// reader stream entries without holding a second copy of the text.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&serde_json::to_string(entry).expect("cache entries serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses JSON-lines text produced by [`Self::to_json_lines`]. Blank
+    /// lines are ignored; any malformed line is an error.
+    pub fn from_json_lines(text: &str) -> Result<Self, serde_json::Error> {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            entries.push(serde_json::from_str::<(EvalQuery, CostReport)>(line)?);
+        }
+        Ok(SerializedCache { entries })
+    }
+}
+
+/// One cache stripe: the memo map plus its keys in insertion order. The
+/// order queue is what makes both serialization and FIFO eviction
+/// deterministic — `HashMap` iteration order is an implementation detail,
+/// the queue is not.
+#[derive(Debug, Default)]
+struct Shard {
+    map: QueryMap<CostReport>,
+    order: VecDeque<EvalQuery>,
+}
+
+impl Shard {
+    /// Inserts an entry, evicting oldest-first entries beyond `capacity`
+    /// (`None` = unbounded). Returns how many entries were evicted.
+    fn insert(&mut self, query: EvalQuery, report: CostReport, capacity: Option<usize>) -> u64 {
+        if self.map.insert(query, report).is_none() {
+            self.order.push_back(query);
+        }
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            while self.map.len() > cap {
+                let oldest = self
+                    .order
+                    .pop_front()
+                    .expect("order queue tracks every map entry");
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
 /// The workspace's shared evaluation engine: memo cache + worker pool over
 /// one [`CostModel`] and a fixed layer table. See the module docs for the
 /// determinism argument.
@@ -210,9 +309,16 @@ pub struct EvalEngine {
     model: CostModel,
     layers: Vec<Layer>,
     threads: usize,
-    shards: Vec<Mutex<QueryMap<CostReport>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Max memoized entries across all shards (`None` = unbounded). The
+    /// budget is split evenly: each shard keeps at most
+    /// `capacity.div_ceil(SHARD_COUNT)` entries and evicts oldest-first
+    /// beyond that, so eviction depends only on the (deterministic) insert
+    /// order, never on thread scheduling.
+    cache_capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl EvalEngine {
@@ -231,11 +337,45 @@ impl EvalEngine {
             layers,
             threads: threads.max(1),
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(QueryMap::default()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            cache_capacity: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the memo cache to at most `capacity` entries (`None` restores
+    /// the unbounded default). Entries beyond the per-shard budget are
+    /// evicted oldest-first; see [`EvalStats::evictions`].
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.cache_capacity = capacity;
+        if let Some(cap) = self.per_shard_capacity() {
+            let mut evicted = 0;
+            for shard in &self.shards {
+                let mut shard = lock_recovering(shard);
+                while shard.map.len() > cap {
+                    let oldest = shard
+                        .order
+                        .pop_front()
+                        .expect("order queue tracks every map entry");
+                    shard.map.remove(&oldest);
+                    evicted += 1;
+                }
+            }
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured cache bound, if any.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
+    fn per_shard_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+            .map(|cap| cap.div_ceil(SHARD_COUNT).max(1))
     }
 
     /// The cost model being memoized.
@@ -271,8 +411,41 @@ impl EvalEngine {
     pub fn cache_len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").len())
+            .map(|s| lock_recovering(s).map.len())
             .sum()
+    }
+
+    /// Captures the memo cache as a flat [`SerializedCache`] image (shards
+    /// in index order, entries in insertion order within each shard).
+    pub fn to_serialized(&self) -> SerializedCache {
+        let mut entries = Vec::with_capacity(self.cache_len());
+        for shard in &self.shards {
+            let shard = lock_recovering(shard);
+            for query in &shard.order {
+                let report = shard
+                    .map
+                    .get(query)
+                    .expect("order queue tracks every map entry")
+                    .clone();
+                entries.push((*query, report));
+            }
+        }
+        SerializedCache { entries }
+    }
+
+    /// Replays a [`SerializedCache`] image into the memo cache, rebuilding
+    /// shard assignment and FNV indices from scratch (they are derived
+    /// state and are never persisted). Later duplicates overwrite earlier
+    /// ones, and the configured capacity bound still applies, so loading is
+    /// exactly a sequence of ordinary inserts.
+    pub fn load_serialized(&self, cache: &SerializedCache) {
+        let mut evicted = 0;
+        let capacity = self.per_shard_capacity();
+        for (query, report) in &cache.entries {
+            let mut shard = lock_recovering(&self.shards[self.shard_of(query)]);
+            evicted += shard.insert(*query, report.clone(), capacity);
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     fn shard_of(&self, query: &EvalQuery) -> usize {
@@ -282,18 +455,19 @@ impl EvalEngine {
     }
 
     fn cache_get(&self, query: &EvalQuery) -> Option<CostReport> {
-        self.shards[self.shard_of(query)]
-            .lock()
-            .expect("cache shard lock")
+        lock_recovering(&self.shards[self.shard_of(query)])
+            .map
             .get(query)
             .cloned()
     }
 
     fn cache_insert(&self, query: EvalQuery, report: CostReport) {
-        self.shards[self.shard_of(&query)]
-            .lock()
-            .expect("cache shard lock")
-            .insert(query, report);
+        let capacity = self.per_shard_capacity();
+        let evicted =
+            lock_recovering(&self.shards[self.shard_of(&query)]).insert(query, report, capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Runs the cost model directly, bypassing the cache and counters.
@@ -382,9 +556,9 @@ impl CostOracle for EvalEngine {
         let mut miss_slots: Vec<usize> = Vec::new();
         let mut cache_hits = 0u64;
         for (shard_idx, slots) in grouped.iter() {
-            let shard = self.shards[shard_idx].lock().expect("cache shard lock");
+            let shard = lock_recovering(&self.shards[shard_idx]);
             for &slot in slots {
-                if let Some(report) = shard.get(&queries[slot]) {
+                if let Some(report) = shard.map.get(&queries[slot]) {
                     results[slot] = report.clone();
                     cache_hits += 1;
                 } else {
@@ -417,11 +591,16 @@ impl CostOracle for EvalEngine {
         self.misses
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
         // Pass 3: memoize the fresh reports, again one stripe lock each.
+        let capacity = self.per_shard_capacity();
+        let mut evicted = 0;
         for (shard_idx, entries) in group_by_shard(&pending_shard).iter() {
-            let mut shard = self.shards[shard_idx].lock().expect("cache shard lock");
+            let mut shard = lock_recovering(&self.shards[shard_idx]);
             for &pi in entries {
-                shard.insert(pending[pi], fresh[pi].clone());
+                evicted += shard.insert(pending[pi], fresh[pi].clone(), capacity);
             }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         for (slot, pi) in waiting {
             results[slot] = fresh[pi].clone();
@@ -433,8 +612,21 @@ impl CostOracle for EvalEngine {
         EvalStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Locks a cache shard, recovering from poisoning. A shard only ever holds
+/// pure-function memo entries and its order queue, both written atomically
+/// under the lock, so the data is valid even if some thread panicked while
+/// holding the guard — discarding the whole cache (or worse, panicking
+/// every later evaluation, as `.expect("cache shard lock")` used to) would
+/// punish the surviving searches for a bug that already unwound.
+fn lock_recovering(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Resolves the worker count: `CONFX_THREADS` if set and positive, else the
@@ -471,6 +663,14 @@ mod tests {
             layer,
             dataflow: df,
             point: DesignPoint::new(p, t).unwrap(),
+        }
+    }
+
+    fn stats(hits: u64, misses: u64) -> EvalStats {
+        EvalStats {
+            hits,
+            misses,
+            evictions: 0,
         }
     }
 
@@ -522,7 +722,7 @@ mod tests {
         let b = engine.evaluate_batch(&[query]);
         assert_eq!(a, b[0]);
         assert_eq!(engine.cache_len(), 1);
-        assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 1 });
+        assert_eq!(engine.stats(), stats(1, 1));
     }
 
     #[test]
@@ -532,10 +732,10 @@ mod tests {
         let b = q(2, Dataflow::EyerissStyle, 8, 2);
         // a is missed once, duplicated in-batch (hit), b missed.
         engine.evaluate_batch(&[a, a, b]);
-        assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 2 });
+        assert_eq!(engine.stats(), stats(1, 2));
         // Everything now cached.
         engine.evaluate_batch(&[a, b, a]);
-        assert_eq!(engine.stats(), EvalStats { hits: 4, misses: 2 });
+        assert_eq!(engine.stats(), stats(4, 2));
         assert_eq!(engine.stats().total(), 6);
         assert!((engine.stats().hit_rate() - 4.0 / 6.0).abs() < 1e-12);
     }
@@ -552,5 +752,103 @@ mod tests {
     fn out_of_range_layer_panics() {
         let engine = EvalEngine::with_threads(CostModel::default(), layers(), 1);
         engine.evaluate_query(q(99, Dataflow::NvdlaStyle, 1, 1));
+    }
+
+    #[test]
+    fn engine_survives_a_panicking_batch_and_a_poisoned_shard() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        let good = q(0, Dataflow::NvdlaStyle, 16, 4);
+        // A batch that panics mid-flight (out-of-range layer index).
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            engine.evaluate_batch(&[good, q(99, Dataflow::NvdlaStyle, 1, 1)]);
+        }));
+        assert!(panicked.is_err());
+        // Poison a shard outright: panic while holding its guard, the way a
+        // cost-model panic inside a locked pass would.
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = engine.shards[0].lock().unwrap();
+            panic!("boom while holding the shard lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(engine.shards[0].is_poisoned());
+        // The engine must keep serving: entries are pure-function results,
+        // valid after any unwinding.
+        let direct = CostModel::default().evaluate(&layers()[0], good.dataflow, good.point);
+        assert_eq!(engine.evaluate_query(good), direct);
+        assert_eq!(
+            engine.evaluate_batch(&[good, good]),
+            vec![direct.clone(), direct]
+        );
+        assert!(engine.cache_len() >= 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first_and_counts_it() {
+        let mut engine = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        // One entry per shard at most: per-shard budget 1.
+        engine.set_cache_capacity(Some(SHARD_COUNT));
+        // Two queries landing in the same shard force an eviction.
+        let all: Vec<EvalQuery> = (1..64).map(|i| q(0, Dataflow::NvdlaStyle, i, 1)).collect();
+        let (first, second) = {
+            let mut pairs = None;
+            'outer: for (i, a) in all.iter().enumerate() {
+                for b in &all[i + 1..] {
+                    if engine.shard_of(a) == engine.shard_of(b) {
+                        pairs = Some((*a, *b));
+                        break 'outer;
+                    }
+                }
+            }
+            pairs.expect("64 queries over 16 shards must collide")
+        };
+        engine.evaluate_query(first);
+        engine.evaluate_query(second);
+        assert_eq!(engine.stats().evictions, 1);
+        // `first` was evicted, so it re-misses; `second` survived.
+        assert!(engine.cache_get(&first).is_none());
+        assert!(engine.cache_get(&second).is_some());
+        // Shrinking capacity trims overfull shards immediately.
+        let unbounded = EvalEngine::with_threads(CostModel::default(), layers(), 1);
+        for &query in &all {
+            unbounded.evaluate_query(query);
+        }
+        assert!(unbounded.cache_len() > SHARD_COUNT);
+        let mut bounded = unbounded;
+        bounded.set_cache_capacity(Some(SHARD_COUNT));
+        assert!(bounded.cache_len() <= SHARD_COUNT);
+        assert!(bounded.stats().evictions > 0);
+    }
+
+    #[test]
+    fn serialized_cache_round_trips_through_json_lines() {
+        let engine = EvalEngine::with_threads(CostModel::default(), layers(), 2);
+        let queries: Vec<EvalQuery> = (0..40)
+            .map(|i| {
+                q(
+                    i % 3,
+                    Dataflow::ALL[i % Dataflow::ALL.len()],
+                    1 + (i as u64 * 11) % 256,
+                    1 + (i as u64 * 5) % 16,
+                )
+            })
+            .collect();
+        engine.evaluate_batch(&queries);
+        let image = engine.to_serialized();
+        assert_eq!(image.len(), engine.cache_len());
+        let text = image.to_json_lines();
+        let parsed = SerializedCache::from_json_lines(&text).unwrap();
+        assert_eq!(parsed, image);
+        // Loading into a fresh engine reproduces every lookup and serves
+        // the whole batch without a single model run.
+        let warm = EvalEngine::with_threads(CostModel::default(), layers(), 2);
+        warm.load_serialized(&parsed);
+        assert_eq!(warm.cache_len(), engine.cache_len());
+        assert_eq!(warm.to_serialized(), image);
+        let before = warm.stats();
+        let reports = warm.evaluate_batch(&queries);
+        assert_eq!(reports, engine.evaluate_batch(&queries));
+        assert_eq!(warm.stats().since(before).misses, 0);
     }
 }

@@ -50,7 +50,9 @@ mod tech;
 
 pub use dataflow::Dataflow;
 pub use design::DesignPoint;
-pub use engine::{threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, THREADS_ENV};
+pub use engine::{
+    threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, SerializedCache, THREADS_ENV,
+};
 pub use error::MaestroError;
 pub use estimate::CostModel;
 pub use layer::{Layer, LayerKind};

@@ -6,6 +6,7 @@
 
 use maestro::{
     CostModel, CostOracle, Dataflow, DesignPoint, EvalEngine, EvalQuery, EvalStats, Layer,
+    SerializedCache,
 };
 use proptest::prelude::*;
 
@@ -82,6 +83,39 @@ proptest! {
         prop_assert_eq!(stats.misses, distinct.len() as u64);
         prop_assert_eq!(stats.total(), 2 * queries.len() as u64);
     }
+
+    /// Save → JSON-lines → load round-trips the memo cache exactly: the
+    /// warm engine has the same `cache_len()`, serves every original query
+    /// (and a permutation of them, duplicates included) from the cache with
+    /// zero model runs, and re-serializes to an identical image.
+    #[test]
+    fn serialized_cache_round_trips(
+        queries in proptest::collection::vec(arb_query(), 1..48),
+        threads in 1usize..5,
+    ) {
+        let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), threads);
+        let reports = engine.evaluate_batch(&queries);
+
+        let image = engine.to_serialized();
+        prop_assert_eq!(image.len(), engine.cache_len());
+        let reparsed = SerializedCache::from_json_lines(&image.to_json_lines())
+            .expect("own output parses");
+        prop_assert_eq!(&reparsed, &image);
+
+        let warm = EvalEngine::with_threads(CostModel::default(), layer_table(), threads);
+        warm.load_serialized(&reparsed);
+        prop_assert_eq!(warm.cache_len(), engine.cache_len());
+        prop_assert_eq!(warm.to_serialized(), image);
+
+        // Identical lookups, duplicates and permutations included, all
+        // served without a single fresh model run.
+        let permuted: Vec<EvalQuery> = queries.iter().rev().copied().collect();
+        let warm_reports = warm.evaluate_batch(&permuted);
+        for (r, wr) in reports.iter().rev().zip(&warm_reports) {
+            prop_assert_eq!(r, wr);
+        }
+        prop_assert_eq!(warm.stats().misses, 0);
+    }
 }
 
 /// Deterministic spot-check that the counters are *exact*, not just
@@ -99,15 +133,20 @@ fn hit_miss_counters_are_exact() {
         dataflow: Dataflow::ShiDianNaoStyle,
         point: DesignPoint::new(128, 8).unwrap(),
     };
+    let stats = |hits, misses| EvalStats {
+        hits,
+        misses,
+        evictions: 0,
+    };
     // a: miss; a again in-batch: hit; b: miss.
     engine.evaluate_batch(&[a, a, b]);
-    assert_eq!(engine.stats(), EvalStats { hits: 1, misses: 2 });
+    assert_eq!(engine.stats(), stats(1, 2));
     // Singleton path shares cache and counters.
     engine.evaluate_query(a);
-    assert_eq!(engine.stats(), EvalStats { hits: 2, misses: 2 });
+    assert_eq!(engine.stats(), stats(2, 2));
     // Full repeat batch: three hits, no new misses.
     engine.evaluate_batch(&[b, a, a]);
-    assert_eq!(engine.stats(), EvalStats { hits: 5, misses: 2 });
+    assert_eq!(engine.stats(), stats(5, 2));
     assert_eq!(engine.stats().total(), 7);
     assert_eq!(engine.cache_len(), 2);
 }

@@ -44,7 +44,7 @@ pub type Rng = rand::rngs::StdRng;
 pub use rand::SeedableRng;
 
 /// A trainable parameter: value, gradient accumulator, and Adam moments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Param {
     /// Current value.
     pub w: Matrix,

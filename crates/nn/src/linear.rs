@@ -4,7 +4,7 @@ use crate::{Matrix, Param, Rng};
 ///
 /// `W` is stored `in × out` so the forward pass is a plain matmul on
 /// row-vector activations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Linear {
     /// Weight parameter, shape `in × out`.
     pub w: Param,

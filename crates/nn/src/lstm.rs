@@ -5,7 +5,7 @@ fn sigmoid(v: f32) -> f32 {
 }
 
 /// Hidden and cell state of an LSTM, each `batch × hidden`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LstmState {
     /// Hidden state `h`.
     pub h: Matrix,
@@ -44,7 +44,7 @@ pub struct LstmCache {
 /// g = tanh(x·Wxg + h·Whg + bg)   o = σ(x·Wxo + h·Who + bo)
 /// c' = f∘c + i∘g                 h' = o∘tanh(c')
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LstmCell {
     /// Input weights, `input × 4H`.
     pub wx: Param,

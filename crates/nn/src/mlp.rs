@@ -37,7 +37,7 @@ pub struct MlpCache {
 
 /// A multi-layer perceptron with a linear output layer: activations apply
 /// to every layer except the last.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Linear>,
     activation: Activation,

@@ -44,11 +44,7 @@ struct Individual {
 
 impl GeneticAlgorithm {
     fn better(a: &Individual, b: &Individual) -> bool {
-        match (a.cost, b.cost) {
-            (Some(x), Some(y)) => x < y,
-            (Some(_), None) => true,
-            _ => false,
-        }
+        crate::cost_order(a.cost, b.cost) == std::cmp::Ordering::Less
     }
 
     fn tournament<'a>(pop: &'a [Individual], rng: &mut Rng) -> &'a Individual {
@@ -119,13 +115,9 @@ impl Optimizer for GeneticAlgorithm {
             })
             .collect();
         while outcome.evaluations < budget {
-            // Sort so elites sit at the front.
-            population.sort_by(|a, b| match (a.cost, b.cost) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite costs"),
-                (Some(_), None) => std::cmp::Ordering::Less,
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
-            });
+            // Sort so elites sit at the front (NaN costs rank behind every
+            // finite cost, ahead only of infeasible genomes).
+            population.sort_by(|a, b| crate::cost_order(a.cost, b.cost));
             let mut next: Vec<Individual> = population
                 .iter()
                 .take(self.elites.min(population.len()))

@@ -37,13 +37,35 @@ pub use anneal::SimulatedAnnealing;
 pub use bayesian::BayesianOpt;
 pub use genetic::GeneticAlgorithm;
 pub use grid::GridSearch;
-pub use local_ga::{FineSpace, LocalGa, LocalGaConfig};
+pub use local_ga::{
+    FineCursor, FineCursorState, FineOutcome, FineOutcomeState, FineSpace, LocalGa, LocalGaConfig,
+};
 pub use outcome::SearchOutcome;
 pub use random::RandomSearch;
 pub use space::SearchSpace;
 
 /// The RNG type shared by all optimizers.
 pub type Rng = rand::rngs::StdRng;
+
+/// Total order on optional candidate costs: finite costs ascend via
+/// [`f64::total_cmp`], any NaN cost ranks strictly worse than every finite
+/// cost, and `None` (infeasible) ranks worst of all. A NaN leaking out of a
+/// cost model demotes that candidate instead of panicking the search the
+/// way `partial_cmp(..).expect("finite costs")` used to.
+pub fn cost_order(a: Option<f64>, b: Option<f64>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Some(x), Some(y)) => match (x.is_nan(), y.is_nan()) {
+            (false, false) => x.total_cmp(&y),
+            (false, true) => Ordering::Less,
+            (true, false) => Ordering::Greater,
+            (true, true) => Ordering::Equal,
+        },
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => Ordering::Equal,
+    }
+}
 
 /// Cap on how many genomes an optimizer queues up before flushing them to
 /// the evaluator: big enough to saturate a worker pool, small enough to

@@ -1,4 +1,5 @@
 use rand::Rng as _;
+use serde::{Deserialize, Serialize};
 
 use crate::{BatchEval, Rng, SerialEval};
 
@@ -96,7 +97,7 @@ pub struct LocalGa {
     config: LocalGaConfig,
 }
 
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct Individual {
     genome: Vec<i64>,
     cost: Option<f64>,
@@ -139,6 +140,23 @@ impl LocalGa {
         eval: &mut dyn BatchEval<i64>,
         rng: &mut Rng,
     ) -> FineOutcome {
+        let mut cursor = self.start_batch(space, init, budget, eval, rng);
+        while self.step_generation(space, budget, &mut cursor, eval, rng) {}
+        cursor.into_outcome()
+    }
+
+    /// Evaluates the seed and its jittered initial population, returning a
+    /// [`FineCursor`] positioned before the first generation. Stepping the
+    /// cursor with [`Self::step_generation`] until it reports no remaining
+    /// work reproduces [`Self::run_batch`] bit for bit.
+    pub fn start_batch(
+        &self,
+        space: &FineSpace,
+        init: &[i64],
+        budget: usize,
+        eval: &mut dyn BatchEval<i64>,
+        rng: &mut Rng,
+    ) -> FineCursor {
         assert_eq!(init.len(), space.len(), "seed width mismatch");
         let cfg = &self.config;
         let mut outcome = FineOutcome::new();
@@ -165,44 +183,63 @@ impl LocalGa {
             outcome.record(&genome, cost);
             population.push(Individual { genome, cost });
         }
-        while outcome.evaluations < budget {
-            population.sort_by(|a, b| match (a.cost, b.cost) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite costs"),
-                (Some(_), None) => std::cmp::Ordering::Less,
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
-            });
-            let mut next: Vec<Individual> = population
-                .iter()
-                .take(cfg.elites.min(population.len()))
-                .cloned()
-                .collect();
-            let n_children = cfg
-                .population
-                .saturating_sub(next.len())
-                .min(budget - outcome.evaluations);
-            let children: Vec<Vec<i64>> = (0..n_children)
-                .map(|_| {
-                    // Parents are drawn from the better half (valid parents
-                    // reproduce, §III-G).
-                    let half = (population.len() / 2).max(1);
-                    let parent = &population[rng.gen_range(0..half)];
-                    let mut child = parent.genome.clone();
-                    if rng.gen_bool(cfg.crossover_rate.clamp(0.0, 1.0)) {
-                        self.self_crossover(&mut child, rng);
-                    }
-                    self.mutate(&mut child, space, rng);
-                    child
-                })
-                .collect();
-            let costs = eval.eval_batch(&children);
-            for (genome, cost) in children.into_iter().zip(costs) {
-                outcome.record(&genome, cost);
-                next.push(Individual { genome, cost });
-            }
-            population = next;
+        FineCursor {
+            population,
+            outcome,
         }
-        outcome
+    }
+
+    /// Runs one generation (sort, elitism, breed, one evaluation batch)
+    /// against `cursor`. Returns `true` if a generation was run, `false`
+    /// once the evaluation budget is exhausted; the caller may checkpoint
+    /// the cursor between calls via [`FineCursor::snapshot`].
+    pub fn step_generation(
+        &self,
+        space: &FineSpace,
+        budget: usize,
+        cursor: &mut FineCursor,
+        eval: &mut dyn BatchEval<i64>,
+        rng: &mut Rng,
+    ) -> bool {
+        if cursor.outcome.evaluations >= budget {
+            return false;
+        }
+        let cfg = &self.config;
+        let population = &mut cursor.population;
+        let outcome = &mut cursor.outcome;
+        // NaN costs rank behind every finite cost, ahead only of
+        // infeasible genomes, so one bad evaluation can't panic the sort.
+        population.sort_by(|a, b| crate::cost_order(a.cost, b.cost));
+        let mut next: Vec<Individual> = population
+            .iter()
+            .take(cfg.elites.min(population.len()))
+            .cloned()
+            .collect();
+        let n_children = cfg
+            .population
+            .saturating_sub(next.len())
+            .min(budget - outcome.evaluations);
+        let children: Vec<Vec<i64>> = (0..n_children)
+            .map(|_| {
+                // Parents are drawn from the better half (valid parents
+                // reproduce, §III-G).
+                let half = (population.len() / 2).max(1);
+                let parent = &population[rng.gen_range(0..half)];
+                let mut child = parent.genome.clone();
+                if rng.gen_bool(cfg.crossover_rate.clamp(0.0, 1.0)) {
+                    self.self_crossover(&mut child, rng);
+                }
+                self.mutate(&mut child, space, rng);
+                child
+            })
+            .collect();
+        let costs = eval.eval_batch(&children);
+        for (genome, cost) in children.into_iter().zip(costs) {
+            outcome.record(&genome, cost);
+            next.push(Individual { genome, cost });
+        }
+        *population = next;
+        true
     }
 
     /// Local mutation: each gene moves by at most ± `mutation_step`.
@@ -235,6 +272,64 @@ impl LocalGa {
     }
 }
 
+/// Resumable state of a [`LocalGa`] run between generations: the current
+/// population and the outcome accumulated so far. Produced by
+/// [`LocalGa::start_batch`], advanced by [`LocalGa::step_generation`], and
+/// checkpointable via [`FineCursor::snapshot`].
+#[derive(Debug, Clone)]
+pub struct FineCursor {
+    population: Vec<Individual>,
+    outcome: FineOutcome,
+}
+
+impl FineCursor {
+    /// The outcome accumulated so far.
+    pub fn outcome(&self) -> &FineOutcome {
+        &self.outcome
+    }
+
+    /// Consumes the cursor, yielding the final outcome.
+    pub fn into_outcome(self) -> FineOutcome {
+        self.outcome
+    }
+
+    /// Captures the cursor as a serializable snapshot. Floats are stored
+    /// bit-for-bit (as `u64`), so a JSON round trip is exact even for the
+    /// `f64::INFINITY` trace sentinel and for NaN costs.
+    pub fn snapshot(&self) -> FineCursorState {
+        FineCursorState {
+            population: self
+                .population
+                .iter()
+                .map(|ind| (ind.genome.clone(), ind.cost.map(f64::to_bits)))
+                .collect(),
+            outcome: self.outcome.snapshot(),
+        }
+    }
+
+    /// Rebuilds a cursor from a snapshot taken by [`FineCursor::snapshot`].
+    pub fn restore(state: &FineCursorState) -> Self {
+        FineCursor {
+            population: state
+                .population
+                .iter()
+                .map(|(genome, bits)| Individual {
+                    genome: genome.clone(),
+                    cost: bits.map(f64::from_bits),
+                })
+                .collect(),
+            outcome: FineOutcome::restore(&state.outcome),
+        }
+    }
+}
+
+/// Serializable form of a [`FineCursor`] (costs bit-encoded as `u64`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FineCursorState {
+    population: Vec<(Vec<i64>, Option<u64>)>,
+    outcome: FineOutcomeState,
+}
+
 /// Outcome of a fine-space search (integer genomes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FineOutcome {
@@ -258,7 +353,8 @@ impl FineOutcome {
     fn record(&mut self, genome: &[i64], cost: Option<f64>) {
         self.evaluations += 1;
         if let Some(c) = cost {
-            if self.best.as_ref().is_none_or(|(_, b)| c < *b) {
+            // A NaN cost never becomes `best`.
+            if !c.is_nan() && self.best.as_ref().is_none_or(|(_, b)| c < *b) {
                 self.best = Some((genome.to_vec(), c));
             }
         }
@@ -270,6 +366,42 @@ impl FineOutcome {
     pub fn best_cost(&self) -> Option<f64> {
         self.best.as_ref().map(|(_, c)| *c)
     }
+
+    /// Captures the outcome as a serializable, bit-exact snapshot.
+    pub fn snapshot(&self) -> FineOutcomeState {
+        FineOutcomeState {
+            best: self.best.as_ref().map(|(g, c)| (g.clone(), c.to_bits())),
+            trace_bits: self.trace.iter().map(|c| c.to_bits()).collect(),
+            evaluations: self.evaluations,
+        }
+    }
+
+    /// Rebuilds an outcome from a snapshot taken by
+    /// [`FineOutcome::snapshot`].
+    pub fn restore(state: &FineOutcomeState) -> Self {
+        FineOutcome {
+            best: state
+                .best
+                .as_ref()
+                .map(|(g, bits)| (g.clone(), f64::from_bits(*bits))),
+            trace: state
+                .trace_bits
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .collect(),
+            evaluations: state.evaluations,
+        }
+    }
+}
+
+/// Serializable form of a [`FineOutcome`]. The trace (which legitimately
+/// contains `f64::INFINITY` before the first feasible point) is stored as
+/// raw bits because JSON has no representation for non-finite floats.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FineOutcomeState {
+    best: Option<(Vec<i64>, u64)>,
+    trace_bits: Vec<u64>,
+    evaluations: usize,
 }
 
 #[cfg(test)]
@@ -350,6 +482,69 @@ mod tests {
             ga.mutate(&mut g, &space, &mut rng);
             assert!(space.contains(&g), "{g:?}");
         }
+    }
+
+    #[test]
+    fn nan_costs_never_panic_and_never_become_best() {
+        let space = FineSpace::new(vec![1; 4], vec![100; 4]);
+        let seed = vec![50i64; 4];
+        let mut rng = Rng::seed_from_u64(46);
+        let ga = LocalGa::new(LocalGaConfig {
+            mutation_rate: 0.5,
+            ..LocalGaConfig::default()
+        });
+        // Every genome touching an even coordinate reports NaN — including
+        // the seed itself, so NaN is also the first cost ever recorded.
+        let outcome = ga.run(
+            &space,
+            &seed,
+            400,
+            |g| {
+                if g.iter().any(|&v| v % 2 == 0) {
+                    Some(f64::NAN)
+                } else {
+                    Some(g.iter().map(|&v| v as f64).sum())
+                }
+            },
+            &mut rng,
+        );
+        assert_eq!(outcome.evaluations, 400);
+        let best = outcome.best_cost().expect("odd-coordinate genomes exist");
+        assert!(best.is_finite(), "NaN leaked into best: {best}");
+    }
+
+    #[test]
+    fn cursor_snapshot_resumes_bit_identically() {
+        let space = FineSpace::new(vec![1; 6], vec![100; 6]);
+        let seed = vec![50i64; 6];
+        let ga = LocalGa::new(LocalGaConfig::default());
+        let cost = |g: &[i64]| Some(g.iter().map(|&v| (v - 40).pow(2) as f64).sum());
+        let budget = 500;
+
+        let mut rng = Rng::seed_from_u64(47);
+        let uninterrupted = ga.run(&space, &seed, budget, cost, &mut rng);
+
+        // Same run, but checkpointed (through JSON) after three generations.
+        let mut rng = Rng::seed_from_u64(47);
+        let mut eval = SerialEval(cost);
+        let mut cursor = ga.start_batch(&space, &seed, budget, &mut eval, &mut rng);
+        for _ in 0..3 {
+            assert!(ga.step_generation(&space, budget, &mut cursor, &mut eval, &mut rng));
+        }
+        let json = serde_json::to_string(&cursor.snapshot()).unwrap();
+        let rng_state = rng.state();
+        drop((cursor, rng));
+
+        let state: FineCursorState = serde_json::from_str(&json).unwrap();
+        let mut cursor = FineCursor::restore(&state);
+        let mut rng = Rng::from_state(rng_state);
+        while ga.step_generation(&space, budget, &mut cursor, &mut eval, &mut rng) {}
+        let resumed = cursor.into_outcome();
+
+        assert_eq!(resumed.evaluations, uninterrupted.evaluations);
+        assert_eq!(resumed.best, uninterrupted.best);
+        let bits = |t: &[f64]| t.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&resumed.trace), bits(&uninterrupted.trace));
     }
 
     #[test]

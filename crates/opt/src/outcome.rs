@@ -25,11 +25,13 @@ impl SearchOutcome {
         }
     }
 
-    /// Records one evaluation (`None` = infeasible genome).
+    /// Records one evaluation (`None` = infeasible genome). A NaN cost is
+    /// treated as non-improving: it can never become `best`, even when no
+    /// feasible point has been seen yet.
     pub fn record(&mut self, genome: &[usize], cost: Option<f64>) {
         self.evaluations += 1;
         if let Some(c) = cost {
-            let improved = self.best.as_ref().is_none_or(|(_, b)| c < *b);
+            let improved = !c.is_nan() && self.best.as_ref().is_none_or(|(_, b)| c < *b);
             if improved {
                 self.best = Some((genome.to_vec(), c));
             }

@@ -58,6 +58,28 @@ pub trait Agent {
         reports
     }
 
+    /// Captures the agent's mutable training state (network weights,
+    /// optimizer moments, running baselines) as a serializable [`Value`]
+    /// tree, or `None` for agents that don't support checkpointing.
+    ///
+    /// The contract mirrors the vectorized-training one: an agent restored
+    /// via [`Agent::load_state`] must continue training bit-identically to
+    /// the original instance (given identical RNG states and environments).
+    /// Off-policy agents with large in-flight buffers (PPO's episode
+    /// buffer, replay buffers) keep the default `None` — their state is not
+    /// worth persisting mid-epoch — so only checkpoint-aware search drivers
+    /// should rely on this returning `Some`.
+    fn save_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores training state captured by [`Agent::save_state`] on an
+    /// agent built with the same architecture and configuration. Errors on
+    /// agents without checkpoint support or on a mismatched snapshot.
+    fn load_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
     /// Algorithm name as used in the paper's tables.
     fn name(&self) -> &'static str;
 

@@ -5,7 +5,7 @@ use tinynn::{
 
 /// Backbone of the policy network: the paper's default is a single
 /// LSTM-128 layer; Table IX also evaluates an MLP of the same width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PolicyBackboneKind {
     /// Recurrent backbone (remembers the budget consumed by earlier layers).
     Rnn,
@@ -13,7 +13,7 @@ pub enum PolicyBackboneKind {
     Mlp,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 enum Backbone {
     Rnn(LstmCell),
     Mlp(Linear),
@@ -35,7 +35,7 @@ pub struct PolicyStep {
 
 /// A multi-head stochastic policy: a shared backbone followed by one
 /// softmax head per discrete sub-action (PEs, buffers, optionally dataflow).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PolicyNet {
     backbone: Backbone,
     heads: Vec<Linear>,

@@ -5,8 +5,8 @@
 
 use confuciux::{
     run_rl_search, run_rl_search_vec, two_stage_search, AlgorithmKind, ConstraintKind, Deployment,
-    HwProblem, Objective, PlatformClass, RlSearchResult, SearchBudget, TwoStageConfig,
-    TwoStageResult,
+    HwProblem, Objective, PlatformClass, RlSearchResult, SearchBudget, SearchCheckpoint,
+    TwoStageConfig, TwoStageResult, TwoStageRunner,
 };
 use maestro::Dataflow;
 
@@ -216,6 +216,101 @@ fn two_stage_with_vectorized_stage1_is_deterministic() {
     let r1 = two_stage_search(&problem(), &cfg, 42);
     let r2 = two_stage_search(&problem(), &cfg, 42);
     assert_bit_identical(&r1, &r2);
+}
+
+/// Runs `cfg` with seed 42, killing the search at `kill` and resuming
+/// from a JSON round-tripped checkpoint on the same problem instance.
+fn killed_and_resumed(
+    cfg: &TwoStageConfig,
+    kill: impl Fn(&TwoStageRunner) -> bool,
+) -> TwoStageResult {
+    let p = problem();
+    let mut runner = TwoStageRunner::new(&p, cfg, 42);
+    while !kill(&runner) {
+        assert!(runner.step(), "search finished before the kill point");
+    }
+    let checkpoint = SearchCheckpoint::from_json(&runner.checkpoint().unwrap().to_json())
+        .expect("checkpoint survives a JSON round trip");
+    drop(runner);
+    TwoStageRunner::resume(&p, &checkpoint)
+        .expect("resume from checkpoint")
+        .into_result()
+}
+
+#[test]
+fn killed_and_resumed_search_is_bit_identical_serial_and_vectorized() {
+    // The checkpoint/resume contract for both pipeline stages: killing a
+    // run mid-stage-1 or mid-stage-2 and resuming from the saved state
+    // reproduces the uninterrupted run bit for bit — with the serial
+    // stage 1 (n_envs = 1) and with vectorized rollouts (n_envs = 4).
+    for n_envs in [1, 4] {
+        let cfg = TwoStageConfig {
+            global_epochs: 60,
+            fine_evaluations: 200,
+            n_envs,
+            ..TwoStageConfig::default()
+        };
+        let uninterrupted = two_stage_search(&problem(), &cfg, 42);
+        assert!(
+            uninterrupted.fine.is_some(),
+            "seed 42 must reach the fine stage (n_envs = {n_envs})"
+        );
+
+        let mid_global = killed_and_resumed(&cfg, |r| r.global_epochs_done() >= 10);
+        assert_bit_identical(&mid_global, &uninterrupted);
+
+        let mid_fine = killed_and_resumed(&cfg, |r| r.fine_evaluations_done() > 40);
+        assert_bit_identical(&mid_fine, &uninterrupted);
+    }
+}
+
+#[test]
+fn resume_on_fresh_problem_with_saved_cache_reproduces_stats() {
+    // Cross-process resume: the checkpoint plus a persisted cost cache
+    // must reproduce not only the search outcome but also the hit/miss
+    // counters — a resumed run on a warm cache hits exactly where the
+    // uninterrupted run would have.
+    let cfg = TwoStageConfig {
+        global_epochs: 60,
+        fine_evaluations: 200,
+        ..TwoStageConfig::default()
+    };
+    let uninterrupted = two_stage_search(&problem(), &cfg, 42);
+
+    let p1 = problem();
+    let mut runner = TwoStageRunner::new(&p1, &cfg, 42);
+    for _ in 0..10 {
+        assert!(runner.step());
+    }
+    let checkpoint = runner.checkpoint().unwrap();
+    drop(runner);
+    let cache_path = std::env::temp_dir().join(format!(
+        "confx_determinism_cache_{}.jsonl",
+        std::process::id()
+    ));
+    p1.save_cache(&cache_path).expect("cache saves");
+    drop(p1);
+
+    // "New process": a fresh problem, warmed from the cache file.
+    let p2 = problem();
+    let loaded = p2.load_cache(&cache_path).expect("cache loads");
+    assert!(loaded > 0, "killed run left a non-empty cache");
+    std::fs::remove_file(&cache_path).ok();
+    let resumed = TwoStageRunner::resume(&p2, &checkpoint)
+        .expect("resume on fresh problem")
+        .into_result();
+
+    assert_bit_identical(&resumed, &uninterrupted);
+    assert_eq!(
+        resumed.global.eval_stats, uninterrupted.global.eval_stats,
+        "warm-cache resume must reproduce stage-1 hit/miss counters"
+    );
+    if let (Some(fa), Some(fb)) = (&resumed.fine, &uninterrupted.fine) {
+        assert_eq!(
+            fa.eval_stats, fb.eval_stats,
+            "warm-cache resume must reproduce stage-2 hit/miss counters"
+        );
+    }
 }
 
 #[test]
