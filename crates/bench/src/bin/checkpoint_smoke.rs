@@ -11,40 +11,30 @@
 use std::path::Path;
 
 use confuciux::{
-    two_stage_search, ConstraintKind, EvalStats, HwProblem, Objective, PlatformClass,
+    two_stage_search, ConstraintKind, EvalStats, Fnv, HwProblem, JobSpec, Objective, PlatformClass,
     SearchCheckpoint, TwoStageConfig, TwoStageResult, TwoStageRunner,
 };
-use confuciux_bench::{cache_sidecar, standard_problem, Args};
+use confuciux_bench::{cache_sidecar, standard_spec, Args};
 use maestro::Dataflow;
 
-/// FNV-1a over a stream of u64s, mirroring `examples/determinism_digest.rs`.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn push(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-fn fresh_problem() -> HwProblem {
-    standard_problem(
+/// The spec every scenario runs; one [`JobSpec`] describes the whole job.
+fn smoke_spec(args: &Args) -> JobSpec {
+    let mut spec = standard_spec(
         "tiny_cnn",
         Dataflow::NvdlaStyle,
         Objective::Latency,
         ConstraintKind::Area,
         PlatformClass::Iot,
-    )
+    );
+    spec.budget.global_epochs = args.epochs;
+    spec.budget.fine_evaluations = args.epochs.max(50) * 3;
+    spec.n_envs = args.n_envs;
+    spec.seed = args.seed;
+    spec
+}
+
+fn fresh_problem(spec: &JobSpec) -> HwProblem {
+    spec.clone().build().expect("valid job spec")
 }
 
 fn push_stats(fnv: &mut Fnv, stats: &EvalStats) {
@@ -86,13 +76,13 @@ type KillFn = fn(&TwoStageRunner) -> bool;
 /// Kills the search once `kill` fires, checkpoints to disk, resumes on a
 /// fresh problem with the cache loaded from the sidecar, and finishes.
 fn killed_and_resumed(
+    spec: &JobSpec,
     cfg: &TwoStageConfig,
-    seed: u64,
     checkpoint_path: &Path,
     kill: impl Fn(&TwoStageRunner) -> bool,
 ) -> TwoStageResult {
-    let victim = fresh_problem();
-    let mut runner = TwoStageRunner::new(&victim, cfg, seed);
+    let victim = fresh_problem(spec);
+    let mut runner = TwoStageRunner::new(&victim, cfg, spec.seed);
     while !kill(&runner) {
         assert!(runner.step(), "search finished before the kill point");
     }
@@ -103,7 +93,7 @@ fn killed_and_resumed(
     drop(runner);
     drop(victim);
 
-    let resumed_problem = fresh_problem();
+    let resumed_problem = fresh_problem(spec);
     let reloaded = SearchCheckpoint::load(checkpoint_path).expect("load checkpoint");
     let entries = resumed_problem
         .load_cache(&sidecar)
@@ -116,14 +106,10 @@ fn killed_and_resumed(
 
 fn main() {
     let args = Args::parse(60);
-    let cfg = TwoStageConfig {
-        global_epochs: args.epochs,
-        fine_evaluations: args.epochs.max(50) * 3,
-        n_envs: args.n_envs,
-        ..TwoStageConfig::default()
-    };
+    let spec = smoke_spec(&args);
+    let cfg = spec.two_stage_config();
 
-    let uninterrupted = two_stage_search(&fresh_problem(), &cfg, args.seed);
+    let uninterrupted = two_stage_search(&fresh_problem(&spec), &cfg, spec.seed);
     let reference = digest(&uninterrupted);
     println!("uninterrupted_digest={reference:#018x}");
 
@@ -134,7 +120,7 @@ fn main() {
     ];
     for (name, kill) in scenarios {
         let path = args.out.join(format!("checkpoint_smoke_{name}.ckpt.json"));
-        let resumed = killed_and_resumed(&cfg, args.seed, &path, kill);
+        let resumed = killed_and_resumed(&spec, &cfg, &path, kill);
         let got = digest(&resumed);
         let stats = resumed.global.eval_stats;
         let hit_rate = stats.hits as f64 / stats.total().max(1) as f64;

@@ -1,0 +1,290 @@
+//! `confuciux-client` — command-line driver for a running
+//! `confuciux-server` daemon.
+//!
+//! Speaks the length-prefixed JSON protocol over TCP. One invocation
+//! performs one action:
+//!
+//! * `--submit MODEL` — submit a job and stream its events until `Done`
+//!   (default action when `--submit` is given; `--no-follow` returns
+//!   right after the `Submitted` acknowledgement).
+//! * `--attach JOB [--from-seq N]` — reconnect to a job and catch up on
+//!   its buffered events from sequence `N` (default 0), then stream live.
+//! * `--cancel JOB` / `--resume JOB` — stop or continue a job.
+//! * `--jobs` / `--stats` / `--ping` / `--shutdown` — daemon queries.
+//!
+//! Job parameters (`--epochs`, `--fine-evals`, `--seed`, `--n-envs`)
+//! override the paper-default [`JobSpec`]. On `Done` the client prints
+//! the outcome summary plus its determinism digest, so two runs of the
+//! same spec can be diffed with `grep digest`.
+
+use std::net::TcpStream;
+use std::process::exit;
+
+use confuciux::JobSpec;
+use confuciux_server::{read_frame, write_frame, Event, Request};
+
+struct ClientArgs {
+    addr: String,
+    action: Action,
+    epochs: Option<usize>,
+    fine_evals: Option<usize>,
+    seed: Option<u64>,
+    n_envs: Option<usize>,
+    follow: bool,
+    from_seq: u64,
+}
+
+enum Action {
+    Submit(String),
+    Attach(u64),
+    Cancel(u64),
+    Resume(u64),
+    Jobs,
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+const USAGE: &str = "confuciux-client — talk to a confuciux-server daemon
+
+USAGE:
+  confuciux-client [--addr HOST:PORT] ACTION [PARAMS]
+
+ACTIONS (exactly one):
+  --submit MODEL     submit a search job and stream events until Done
+  --attach JOB       re-attach to a job and catch up from --from-seq
+  --cancel JOB       cancel a running or queued job
+  --resume JOB       resume a cancelled or failed job (streams events)
+  --jobs             list jobs
+  --stats            server statistics
+  --ping             liveness check
+  --shutdown         ask the daemon to shut down
+
+PARAMS:
+  --addr HOST:PORT   daemon address (default 127.0.0.1:7464)
+  --epochs N         stage-1 budget override for --submit
+  --fine-evals N     stage-2 budget override for --submit
+  --seed N           RNG seed override for --submit
+  --n-envs N         vectorized-rollout replicas for --submit
+  --from-seq N       first event sequence to replay for --attach (default 0)
+  --no-follow        with --submit: return after the Submitted ack
+";
+
+fn parse_args() -> ClientArgs {
+    let mut out = ClientArgs {
+        addr: "127.0.0.1:7464".to_string(),
+        action: Action::Ping,
+        epochs: None,
+        fine_evals: None,
+        seed: None,
+        n_envs: None,
+        follow: true,
+        from_seq: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut action = None;
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{USAGE}");
+                exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => out.addr = take(&mut i),
+            "--submit" => action = Some(Action::Submit(take(&mut i))),
+            "--attach" => {
+                action = Some(Action::Attach(
+                    take(&mut i).parse().expect("--attach takes a job id"),
+                ))
+            }
+            "--cancel" => {
+                action = Some(Action::Cancel(
+                    take(&mut i).parse().expect("--cancel takes a job id"),
+                ))
+            }
+            "--resume" => {
+                action = Some(Action::Resume(
+                    take(&mut i).parse().expect("--resume takes a job id"),
+                ))
+            }
+            "--jobs" => action = Some(Action::Jobs),
+            "--stats" => action = Some(Action::Stats),
+            "--ping" => action = Some(Action::Ping),
+            "--shutdown" => action = Some(Action::Shutdown),
+            "--epochs" => out.epochs = Some(take(&mut i).parse().expect("--epochs: integer")),
+            "--fine-evals" => {
+                out.fine_evals = Some(take(&mut i).parse().expect("--fine-evals: integer"))
+            }
+            "--seed" => out.seed = Some(take(&mut i).parse().expect("--seed: integer")),
+            "--n-envs" => out.n_envs = Some(take(&mut i).parse().expect("--n-envs: integer")),
+            "--from-seq" => out.from_seq = take(&mut i).parse().expect("--from-seq: integer"),
+            "--no-follow" => out.follow = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    out.action = action.unwrap_or_else(|| {
+        eprintln!("{USAGE}");
+        exit(2);
+    });
+    out
+}
+
+/// Prints one event in a stable, grep-friendly line format. Returns
+/// `true` while the stream is worth following further.
+fn print_event(event: &Event) -> bool {
+    match event {
+        Event::Pong => println!("pong"),
+        Event::Submitted { job } => println!("submitted job={job}"),
+        Event::Started { job, seq } => println!("started job={job} seq={seq}"),
+        Event::Progress {
+            job,
+            seq,
+            epochs,
+            evaluations,
+            best_cost_bits,
+            stats,
+        } => {
+            let best = best_cost_bits.map(f64::from_bits);
+            println!(
+                "progress job={job} seq={seq} epochs={epochs} evals={evaluations} \
+                 best={} hit_rate={:.3}",
+                best.map_or("-".to_string(), |c| format!("{c:.6e}")),
+                stats.hit_rate()
+            );
+        }
+        Event::Done { job, seq, outcome } => {
+            println!(
+                "done job={job} seq={seq} algorithm='{}' best={} epochs={} evals={} \
+                 hit_rate={:.3} wall_ms={:.1} digest={:#018x}",
+                outcome.algorithm,
+                outcome
+                    .best_cost()
+                    .map_or("-".to_string(), |c| format!("{c:.6e}")),
+                outcome.epochs,
+                outcome.evaluations,
+                outcome.hit_rate(),
+                outcome.wall_time().as_secs_f64() * 1e3,
+                outcome.digest(),
+            );
+            return false;
+        }
+        Event::Failed { job, seq, error } => {
+            println!("failed job={job} seq={seq} error={error}");
+            return false;
+        }
+        Event::Cancelled { job, seq } => {
+            println!("cancelled job={job} seq={seq}");
+            return false;
+        }
+        Event::Attached {
+            job,
+            from_seq,
+            replayed,
+        } => println!("attached job={job} from_seq={from_seq} replayed={replayed}"),
+        Event::JobList { jobs } => {
+            println!("jobs={}", jobs.len());
+            for j in jobs {
+                println!(
+                    "  job={} model={} state={} events={}",
+                    j.job, j.model, j.state, j.events
+                );
+            }
+        }
+        Event::ServerStats {
+            jobs_total,
+            jobs_running,
+            engines,
+            cache_entries,
+        } => println!(
+            "stats jobs_total={jobs_total} jobs_running={jobs_running} \
+             engines={engines} cache_entries={cache_entries}"
+        ),
+        Event::Error { message } => {
+            eprintln!("server error: {message}");
+            exit(1);
+        }
+        Event::ShuttingDown => println!("shutting-down"),
+    }
+    true
+}
+
+fn main() {
+    let args = parse_args();
+    let mut conn =
+        TcpStream::connect(&args.addr).unwrap_or_else(|e| panic!("connect to {}: {e}", args.addr));
+
+    let (request, follow) = match &args.action {
+        Action::Submit(model) => {
+            let mut spec = JobSpec::paper_default(model);
+            if let Some(e) = args.epochs {
+                spec.budget.global_epochs = e;
+            }
+            if let Some(f) = args.fine_evals {
+                spec.budget.fine_evaluations = f;
+            }
+            if let Some(s) = args.seed {
+                spec.seed = s;
+            }
+            if let Some(n) = args.n_envs {
+                spec.n_envs = n;
+            }
+            (Request::Submit { spec }, args.follow)
+        }
+        Action::Attach(job) => (
+            Request::Attach {
+                job: *job,
+                from_seq: args.from_seq,
+            },
+            true,
+        ),
+        Action::Cancel(job) => (Request::Cancel { job: *job }, args.follow),
+        Action::Resume(job) => (Request::Resume { job: *job }, args.follow),
+        Action::Jobs => (Request::Jobs, false),
+        Action::Stats => (Request::Stats, false),
+        Action::Ping => (Request::Ping, false),
+        Action::Shutdown => (Request::Shutdown, false),
+    };
+
+    write_frame(&mut conn, &request).expect("send request");
+    // A cancel has no ack of its own; attach to the job so the terminal
+    // `Cancelled` (or `Done`, if the job beat the flag) event confirms it.
+    if let (Action::Cancel(job), true) = (&args.action, follow) {
+        write_frame(
+            &mut conn,
+            &Request::Attach {
+                job: *job,
+                from_seq: args.from_seq,
+            },
+        )
+        .expect("send attach");
+    }
+    if !follow && matches!(args.action, Action::Cancel(_)) {
+        // Fire-and-forget cancel: nothing to read back.
+        return;
+    }
+    loop {
+        let event: Event = match read_frame(&mut conn) {
+            Ok(Some(event)) => event,
+            Ok(None) => break,
+            Err(e) => panic!("protocol error: {e}"),
+        };
+        // Streaming actions follow until the job's terminal event;
+        // one-shot queries stop after their single reply.
+        if !print_event(&event) || !follow {
+            break;
+        }
+    }
+}

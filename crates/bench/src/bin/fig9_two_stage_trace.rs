@@ -7,8 +7,8 @@
 //! killed run resumed from its checkpoint (and cache sidecar) produces a
 //! bit-identical trace.
 
-use confuciux::{format_sci, write_json, ConstraintKind, Objective, PlatformClass, TwoStageConfig};
-use confuciux_bench::{run_two_stage_checkpointed, standard_problem, Args};
+use confuciux::{format_sci, write_json, ConstraintKind, Objective, PlatformClass};
+use confuciux_bench::{run_two_stage_checkpointed, standard_spec, Args};
 use maestro::Dataflow;
 use serde::Serialize;
 
@@ -23,20 +23,21 @@ struct TwoStageTrace {
 
 fn main() {
     let args = Args::parse(600);
-    let problem = standard_problem(
+    // The run is fully described by one JobSpec; problem and search
+    // config both derive from it.
+    let mut spec = standard_spec(
         "MbnetV2",
         Dataflow::NvdlaStyle,
         Objective::Latency,
         ConstraintKind::Area,
         PlatformClass::Iot,
     );
-    let cfg = TwoStageConfig {
-        global_epochs: args.epochs,
-        fine_evaluations: args.epochs * 2,
-        n_envs: args.n_envs,
-        ..TwoStageConfig::default()
-    };
-    let result = run_two_stage_checkpointed(&problem, &cfg, args.seed, &args);
+    spec.budget.global_epochs = args.epochs;
+    spec.budget.fine_evaluations = args.epochs * 2;
+    spec.n_envs = args.n_envs;
+    spec.seed = args.seed;
+    let problem = spec.build().expect("valid job spec");
+    let result = run_two_stage_checkpointed(&problem, &spec.two_stage_config(), spec.seed, &args);
     let trace = TwoStageTrace {
         global: result.global.trace.clone(),
         fine: result

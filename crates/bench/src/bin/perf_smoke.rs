@@ -22,9 +22,9 @@ use std::time::Instant;
 
 use confuciux::{
     two_stage_search, ConstraintKind, CostOracle, Deployment, EvalEngine, EvalQuery, HwProblem,
-    Objective, PlatformClass, TwoStageConfig, VecEnv, VecHwEnv,
+    Objective, PlatformClass, VecEnv, VecHwEnv,
 };
-use confuciux_bench::{standard_problem, Args};
+use confuciux_bench::{standard_spec, Args};
 use maestro::{CostModel, Dataflow, DesignPoint};
 use serde::{Deserialize, Serialize};
 
@@ -151,27 +151,27 @@ fn main() {
     // Best-of-3 on a fresh problem each time: the run is ~100ms, so a
     // single scheduling hiccup on a busy runner would otherwise dominate
     // the wall-time gate. Query counters come from the first (cold) run.
-    let cfg = TwoStageConfig {
-        global_epochs: args.epochs,
-        fine_evaluations: 300,
-        n_envs: args.n_envs,
-        ..TwoStageConfig::default()
-    };
+    let mut spec = standard_spec(
+        "tiny_cnn",
+        Dataflow::NvdlaStyle,
+        Objective::Latency,
+        ConstraintKind::Area,
+        PlatformClass::Iot,
+    );
+    spec.budget.global_epochs = args.epochs;
+    spec.budget.fine_evaluations = 300;
+    spec.n_envs = args.n_envs;
+    spec.seed = args.seed;
+    let cfg = spec.two_stage_config();
     let mut two_stage_wall_ms = f64::MAX;
     let mut stats = maestro::EvalStats::default();
     let mut cache_entries = 0usize;
     let mut cache_save_ms = 0.0f64;
     let mut cache_load_ms = 0.0f64;
     for rep in 0..3 {
-        let problem = standard_problem(
-            "tiny_cnn",
-            Dataflow::NvdlaStyle,
-            Objective::Latency,
-            ConstraintKind::Area,
-            PlatformClass::Iot,
-        );
+        let problem = spec.clone().build().expect("valid job spec");
         let start = Instant::now();
-        let result = two_stage_search(&problem, &cfg, args.seed);
+        let result = two_stage_search(&problem, &cfg, spec.seed);
         two_stage_wall_ms = two_stage_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
         if rep == 0 {
             stats = problem.eval_stats();
@@ -181,13 +181,7 @@ fn main() {
             let t = Instant::now();
             problem.save_cache(&cache_path).expect("save cache");
             cache_save_ms = t.elapsed().as_secs_f64() * 1e3;
-            let warm = standard_problem(
-                "tiny_cnn",
-                Dataflow::NvdlaStyle,
-                Objective::Latency,
-                ConstraintKind::Area,
-                PlatformClass::Iot,
-            );
+            let warm = spec.clone().build().expect("valid job spec");
             let t = Instant::now();
             cache_entries = warm.load_cache(&cache_path).expect("load cache");
             cache_load_ms = t.elapsed().as_secs_f64() * 1e3;

@@ -3,10 +3,10 @@
 //! NVDLA-style, LP deployment — 14 (objective, constraint, platform) rows.
 
 use confuciux::{
-    format_sci, run_baseline, run_rl_search_vec, write_json, AlgorithmKind, BaselineKind,
-    ConstraintKind, Objective, PlatformClass, SearchBudget,
+    format_sci, run_baseline, run_rl_search_vec, write_json, BaselineKind, ConstraintKind,
+    Objective, PlatformClass, SearchBudget,
 };
-use confuciux_bench::{standard_problem, Args};
+use confuciux_bench::{standard_spec, Args};
 use maestro::Dataflow;
 
 const ROWS: [(Objective, ConstraintKind, PlatformClass); 14] = [
@@ -92,16 +92,22 @@ fn main() {
         ],
     );
     for (objective, constraint, platform) in rows {
-        let problem = standard_problem(
+        // One JobSpec per row — the same spec a `confuciux-server` client
+        // would submit — and one construction path behind it.
+        let mut spec = standard_spec(
             "MbnetV2",
             Dataflow::NvdlaStyle,
             objective,
             constraint,
             platform,
         );
+        spec.budget.global_epochs = args.epochs;
+        spec.seed = args.seed;
+        spec.n_envs = args.n_envs;
+        let problem = spec.build().expect("valid job spec");
         let mut cells = vec![objective.to_string(), format!("{constraint}: {platform}")];
         for kind in BaselineKind::TABLE4 {
-            let r = run_baseline(&problem, kind, budget, args.seed);
+            let r = run_baseline(&problem, kind, budget, spec.seed);
             cells.push(format_sci(r.best_cost()));
             eprintln!(
                 "  {}: {} evals ({:.0}% cache hits)",
@@ -110,13 +116,7 @@ fn main() {
                 r.eval_stats.hit_rate() * 100.0
             );
         }
-        let conx = run_rl_search_vec(
-            &problem,
-            AlgorithmKind::Reinforce,
-            budget,
-            args.seed,
-            args.n_envs,
-        );
+        let conx = run_rl_search_vec(&problem, spec.algo, budget, spec.seed, spec.n_envs);
         cells.push(format_sci(conx.best_cost()));
         eprintln!(
             "  {}: {} evals ({:.0}% cache hits)",

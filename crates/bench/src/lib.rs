@@ -31,8 +31,8 @@
 use std::path::{Path, PathBuf};
 
 use confuciux::{
-    ConstraintKind, Deployment, HwProblem, Objective, PlatformClass, SearchCheckpoint,
-    TwoStageConfig, TwoStageResult, TwoStageRunner,
+    ConstraintKind, DataflowSpec, Deployment, HwProblem, JobBudget, JobSpec, Objective,
+    PlatformClass, SearchCheckpoint, TwoStageConfig, TwoStageResult, TwoStageRunner,
 };
 use maestro::Dataflow;
 
@@ -122,7 +122,38 @@ impl Args {
     }
 }
 
-/// Builds the standard problem used by most single-model experiments.
+/// The [`JobSpec`] most single-model experiments run: LP deployment, the
+/// default two-stage budget, seed 42. Binaries override budget/seed from
+/// their [`Args`] — the same spec, submitted to a `confuciux-server`,
+/// reproduces the command-line run bit-for-bit.
+pub fn standard_spec(
+    model: &str,
+    dataflow: Dataflow,
+    objective: Objective,
+    constraint: ConstraintKind,
+    platform: PlatformClass,
+) -> JobSpec {
+    let cfg = TwoStageConfig::default();
+    JobSpec {
+        model: model.to_string(),
+        platform,
+        dataflow: DataflowSpec::Fixed(dataflow),
+        objective,
+        constraint,
+        deployment: Deployment::LayerPipelined,
+        budget: JobBudget {
+            global_epochs: cfg.global_epochs,
+            fine_evaluations: cfg.fine_evaluations,
+        },
+        algo: cfg.algorithm,
+        n_envs: cfg.n_envs,
+        seed: 42,
+    }
+}
+
+/// Builds the standard problem used by most single-model experiments —
+/// through the [`JobSpec`] path, so bench binaries and the server share
+/// one construction route.
 pub fn standard_problem(
     model: &str,
     dataflow: Dataflow,
@@ -130,12 +161,9 @@ pub fn standard_problem(
     constraint: ConstraintKind,
     platform: PlatformClass,
 ) -> HwProblem {
-    HwProblem::builder(dnn_models::by_name(model).expect("known model"))
-        .dataflow(dataflow)
-        .objective(objective)
-        .constraint(constraint, platform)
-        .deployment(Deployment::LayerPipelined)
+    standard_spec(model, dataflow, objective, constraint, platform)
         .build()
+        .expect("known model")
 }
 
 /// Sidecar file that stores the cost cache next to a checkpoint, so a

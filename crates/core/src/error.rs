@@ -1,0 +1,76 @@
+//! The one error type of the search layer.
+//!
+//! Checkpoint persistence used to mix `Result<_, String>` and
+//! `std::io::Result`, forcing every caller (and now the server, which
+//! routes all of them onto the wire) to adapt per call. [`SearchError`]
+//! is the single error type of `search.rs`'s fallible public functions,
+//! of cache persistence on [`HwProblem`](crate::HwProblem), and of
+//! [`JobSpec`](crate::JobSpec) construction.
+
+use std::fmt;
+use std::path::Path;
+
+/// Everything that can go wrong preparing, persisting, or resuming a
+/// search.
+#[derive(Debug)]
+pub enum SearchError {
+    /// A filesystem read/write failed. The path is part of the message so
+    /// server logs and CLI panics stay actionable.
+    Io(String),
+    /// A file or wire payload parsed but did not mean what it should
+    /// (bad JSON, wrong checkpoint version, mismatched replica counts).
+    Format(String),
+    /// A [`JobSpec`](crate::JobSpec) names something that does not exist
+    /// (unknown model) or cannot be combined.
+    InvalidSpec(String),
+    /// The operation is not available in the current state (checkpointing
+    /// a finished search, resuming with an agent that cannot save state).
+    Unsupported(String),
+}
+
+impl SearchError {
+    /// Wraps an I/O error with the path it happened on.
+    pub fn io(path: &Path, err: std::io::Error) -> Self {
+        SearchError::Io(format!("{}: {err}", path.display()))
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Io(msg) => write!(f, "io error: {msg}"),
+            SearchError::Format(msg) => write!(f, "format error: {msg}"),
+            SearchError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            SearchError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<std::io::Error> for SearchError {
+    fn from(err: std::io::Error) -> Self {
+        SearchError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SearchError::io(Path::new("/tmp/x.json"), std::io::Error::other("denied"));
+        let msg = e.to_string();
+        assert!(
+            msg.contains("/tmp/x.json") && msg.contains("denied"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: SearchError = std::io::Error::other("boom").into();
+        assert!(matches!(e, SearchError::Io(_)));
+    }
+}

@@ -42,9 +42,14 @@ impl Default for RewardConfig {
 /// the action pair selects the one uniform configuration shared by every
 /// layer, and the reward reflects the whole-model cost under LS accounting
 /// (worst-layer constraint, summed objective).
+///
+/// The environment owns a handle to its problem ([`HwProblem`] is a
+/// cheap `Arc`-backed clone), so an `HwEnv` is `'static` and can live in
+/// a worker thread or server registry independent of the stack frame
+/// that built the problem.
 #[derive(Debug)]
-pub struct HwEnv<'p> {
-    problem: &'p HwProblem,
+pub struct HwEnv {
+    problem: HwProblem,
     reward_cfg: RewardConfig,
     shape_max: [f64; 6],
     // Episode state.
@@ -60,17 +65,17 @@ pub struct HwEnv<'p> {
     worst_layer_cost: f64,
 }
 
-impl<'p> HwEnv<'p> {
+impl HwEnv {
     /// Creates an environment over `problem`.
-    pub fn new(problem: &'p HwProblem) -> Self {
+    pub fn new(problem: &HwProblem) -> Self {
         Self::with_reward(problem, RewardConfig::default())
     }
 
     /// Creates an environment with custom reward shaping.
-    pub fn with_reward(problem: &'p HwProblem, reward_cfg: RewardConfig) -> Self {
+    pub fn with_reward(problem: &HwProblem, reward_cfg: RewardConfig) -> Self {
         HwEnv {
             shape_max: problem.shape_maxima(),
-            problem,
+            problem: problem.clone(),
             reward_cfg,
             t: 0,
             consumed: 0.0,
@@ -85,7 +90,7 @@ impl<'p> HwEnv<'p> {
 
     /// The underlying problem.
     pub fn problem(&self) -> &HwProblem {
-        self.problem
+        &self.problem
     }
 
     /// The last completed episode's feasible assignment, if any.
@@ -231,7 +236,7 @@ impl<'p> HwEnv<'p> {
     }
 }
 
-impl Env for HwEnv<'_> {
+impl Env for HwEnv {
     fn obs_dim(&self) -> usize {
         if self.problem.is_mix() {
             11
@@ -283,7 +288,7 @@ impl Env for HwEnv<'_> {
     }
 }
 
-impl HwEnv<'_> {
+impl HwEnv {
     /// LP step with an already-evaluated cost report for
     /// `(self.step_index(), decode_action(actions))`. The vectorized
     /// environment passes reports straight out of a fused

@@ -41,8 +41,12 @@ mod assignment;
 mod constraint;
 mod critic_study;
 mod design_space;
+mod digest;
+mod error;
 mod hwenv;
+mod job;
 mod ls_sweep;
+mod outcome;
 mod problem;
 mod report;
 mod search;
@@ -53,13 +57,17 @@ pub use assignment::{Assignment, LayerAssignment};
 pub use constraint::{ConstraintKind, Deployment, Objective, PlatformClass};
 pub use critic_study::{critic_study, CriticStudyConfig, CriticStudyResult};
 pub use design_space::{log10_binomial, log10_coarse_action_space, log10_lp_design_space};
+pub use digest::Fnv;
+pub use error::SearchError;
 pub use hwenv::{HwEnv, RewardConfig};
+pub use job::{DataflowSpec, JobBudget, JobSpec};
 pub use ls_sweep::{heuristic_a, heuristic_b, per_layer_optima, PerLayerOptimum};
 // Evaluation-engine types re-exported so downstream binaries can reach
 // them without a direct `maestro` dependency edge.
 pub use maestro::{
     threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, SerializedCache, THREADS_ENV,
 };
+pub use outcome::SearchOutcome;
 pub use problem::{HwProblem, HwProblemBuilder};
 pub use report::{format_sci, write_json, ExperimentTable};
 // The vectorized-environment trait is re-exported so downstream binaries

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use dnn_models::Model;
 use maestro::{
     CostModel, CostOracle, CostReport, Dataflow, DesignPoint, EvalEngine, EvalQuery, EvalStats,
@@ -6,18 +8,13 @@ use maestro::{
 
 use crate::{
     ActionSpace, Assignment, ConstraintKind, Deployment, LayerAssignment, Objective, PlatformClass,
+    SearchError,
 };
 
-/// A fully-specified HW resource-assignment problem instance: the inputs of
-/// Fig. 3 (model, dataflow, objective, constraint, deployment scenario)
-/// plus the cost model and coarse action space.
-///
-/// Construction goes through [`HwProblem::builder`]. All layer evaluations
-/// flow through a shared [`EvalEngine`]: they are memoized (searches
-/// revisit the same `(layer, dataflow, point)` triples constantly) and the
-/// batch entry points fan cache misses out over the engine's worker pool.
+/// The immutable body of a problem, shared by every [`HwProblem`] handle
+/// cloned from the same build.
 #[derive(Debug)]
-pub struct HwProblem {
+struct ProblemCore {
     model: Model,
     /// Fixed dataflow; `None` = MIX mode (per-layer dataflow is part of the
     /// action space, §IV-D).
@@ -28,7 +25,29 @@ pub struct HwProblem {
     deployment: Deployment,
     actions: ActionSpace,
     budget: f64,
-    engine: EvalEngine,
+    engine: Arc<EvalEngine>,
+}
+
+/// A fully-specified HW resource-assignment problem instance: the inputs of
+/// Fig. 3 (model, dataflow, objective, constraint, deployment scenario)
+/// plus the cost model and coarse action space.
+///
+/// Construction goes through [`HwProblem::builder`]. All layer evaluations
+/// flow through a shared [`EvalEngine`]: they are memoized (searches
+/// revisit the same `(layer, dataflow, point)` triples constantly) and the
+/// batch entry points fan cache misses out over the engine's worker pool.
+///
+/// `HwProblem` is a cheap-to-clone handle over an immutable, atomically
+/// reference-counted body: clones share the model, budget, and engine
+/// cache, so environments and runners can *own* a problem (no lifetime
+/// ties to the stack frame that built it) while a long-lived registry —
+/// the `confuciux-server` job table — holds another handle to the same
+/// instance. Two problems built through
+/// [`HwProblemBuilder::shared_engine`] additionally share one memo cache
+/// across different platforms/objectives of the same model family.
+#[derive(Debug, Clone)]
+pub struct HwProblem {
+    core: Arc<ProblemCore>,
 }
 
 impl HwProblem {
@@ -46,57 +65,65 @@ impl HwProblem {
             budget_override: None,
             threads: None,
             cache_capacity: None,
+            shared_engine: None,
         }
     }
 
     /// The target model.
     pub fn model(&self) -> &Model {
-        &self.model
+        &self.core.model
     }
 
     /// Fixed dataflow, or `None` in MIX mode.
     pub fn dataflow(&self) -> Option<Dataflow> {
-        self.dataflow
+        self.core.dataflow
     }
 
     /// Whether per-layer dataflow selection is part of the action space.
     pub fn is_mix(&self) -> bool {
-        self.dataflow.is_none()
+        self.core.dataflow.is_none()
     }
 
     /// Optimization objective.
     pub fn objective(&self) -> Objective {
-        self.objective
+        self.core.objective
     }
 
     /// Constraint kind.
     pub fn constraint(&self) -> ConstraintKind {
-        self.constraint
+        self.core.constraint
     }
 
     /// Platform class.
     pub fn platform(&self) -> PlatformClass {
-        self.platform
+        self.core.platform
     }
 
     /// Deployment scenario.
     pub fn deployment(&self) -> Deployment {
-        self.deployment
+        self.core.deployment
     }
 
     /// Coarse action space.
     pub fn actions(&self) -> &ActionSpace {
-        &self.actions
+        &self.core.actions
     }
 
     /// The constraint budget in the constraint's units (µm² or mW).
     pub fn budget(&self) -> f64 {
-        self.budget
+        self.core.budget
     }
 
     /// The shared evaluation engine (cache + worker pool).
     pub fn engine(&self) -> &EvalEngine {
-        &self.engine
+        &self.core.engine
+    }
+
+    /// A counted handle to the engine, for sharing its memo cache with
+    /// other problems of the same model family (see
+    /// [`HwProblemBuilder::shared_engine`]).
+    pub fn engine_handle(&self) -> Arc<EvalEngine> {
+        Arc::clone(&self.core.engine)
     }
 
     /// Evaluates one layer on one design point (memoized).
@@ -110,7 +137,7 @@ impl HwProblem {
         dataflow: Dataflow,
         point: DesignPoint,
     ) -> CostReport {
-        self.engine.evaluate_query(EvalQuery {
+        self.core.engine.evaluate_query(EvalQuery {
             layer: layer_idx,
             dataflow,
             point,
@@ -135,7 +162,7 @@ impl HwProblem {
                 point,
             })
             .collect();
-        self.engine.evaluate_batch(&queries)
+        self.core.engine.evaluate_batch(&queries)
     }
 
     /// Evaluates a complete LP assignment: objective = Σ per-layer
@@ -149,16 +176,16 @@ impl HwProblem {
     pub fn evaluate_lp(&self, layers: &[LayerAssignment]) -> Option<Assignment> {
         assert_eq!(
             layers.len(),
-            self.model.len(),
+            self.core.model.len(),
             "LP assignments cover every layer"
         );
         let mut cost = 0.0;
         let mut used = 0.0;
         for (idx, la) in layers.iter().enumerate() {
             let report = self.evaluate_layer(idx, la.dataflow, la.point);
-            cost += self.objective.of(&report);
-            used += self.constraint.of(&report);
-            if used > self.budget {
+            cost += self.core.objective.of(&report);
+            used += self.core.constraint.of(&report);
+            if used > self.core.budget {
                 return None;
             }
         }
@@ -180,11 +207,11 @@ impl HwProblem {
     /// never make the pool unreachable from these entry points.
     fn batch_chunk_candidates(&self) -> usize {
         const TARGET_QUERIES_PER_CHUNK: usize = 256;
-        let target = TARGET_QUERIES_PER_CHUNK.max(self.engine.parallel_batch_target());
+        let target = TARGET_QUERIES_PER_CHUNK.max(self.core.engine.parallel_batch_target());
         // Round *up*: a full chunk must carry at least `target` queries,
         // or an all-miss chunk would stay just below the pool's
         // per-worker threshold and never engage every worker.
-        target.div_ceil(self.model.len().max(1)).max(1)
+        target.div_ceil(self.core.model.len().max(1)).max(1)
     }
 
     /// Batch form of [`Self::evaluate_lp`]: every candidate's per-layer
@@ -210,11 +237,11 @@ impl HwProblem {
     }
 
     fn evaluate_lp_chunk(&self, candidates: &[Vec<LayerAssignment>]) -> Vec<Option<Assignment>> {
-        let mut queries = Vec::with_capacity(candidates.len() * self.model.len());
+        let mut queries = Vec::with_capacity(candidates.len() * self.core.model.len());
         for layers in candidates {
             assert_eq!(
                 layers.len(),
-                self.model.len(),
+                self.core.model.len(),
                 "LP assignments cover every layer"
             );
             for (idx, la) in layers.iter().enumerate() {
@@ -225,17 +252,17 @@ impl HwProblem {
                 });
             }
         }
-        let reports = self.engine.evaluate_batch(&queries);
+        let reports = self.core.engine.evaluate_batch(&queries);
         candidates
             .iter()
-            .zip(reports.chunks(self.model.len()))
+            .zip(reports.chunks(self.core.model.len()))
             .map(|(layers, reports)| {
                 let mut cost = 0.0;
                 let mut used = 0.0;
                 for report in reports {
-                    cost += self.objective.of(report);
-                    used += self.constraint.of(report);
-                    if used > self.budget {
+                    cost += self.core.objective.of(report);
+                    used += self.core.constraint.of(report);
+                    if used > self.core.budget {
                         return None;
                     }
                 }
@@ -255,12 +282,12 @@ impl HwProblem {
     pub fn evaluate_ls(&self, dataflow: Dataflow, point: DesignPoint) -> Option<Assignment> {
         let mut cost = 0.0;
         let mut used: f64 = 0.0;
-        for idx in 0..self.model.len() {
+        for idx in 0..self.core.model.len() {
             let report = self.evaluate_layer(idx, dataflow, point);
-            cost += self.objective.of(&report);
-            used = used.max(self.constraint.of(&report));
+            cost += self.core.objective.of(&report);
+            used = used.max(self.core.constraint.of(&report));
         }
-        if used > self.budget {
+        if used > self.core.budget {
             return None;
         }
         Some(Assignment {
@@ -284,7 +311,7 @@ impl HwProblem {
     }
 
     fn evaluate_ls_chunk(&self, configs: &[(Dataflow, DesignPoint)]) -> Vec<Option<Assignment>> {
-        let n = self.model.len();
+        let n = self.core.model.len();
         let mut queries = Vec::with_capacity(configs.len() * n);
         for &(dataflow, point) in configs {
             for idx in 0..n {
@@ -295,7 +322,7 @@ impl HwProblem {
                 });
             }
         }
-        let reports = self.engine.evaluate_batch(&queries);
+        let reports = self.core.engine.evaluate_batch(&queries);
         configs
             .iter()
             .zip(reports.chunks(n))
@@ -303,10 +330,10 @@ impl HwProblem {
                 let mut cost = 0.0;
                 let mut used: f64 = 0.0;
                 for report in reports {
-                    cost += self.objective.of(report);
-                    used = used.max(self.constraint.of(report));
+                    cost += self.core.objective.of(report);
+                    used = used.max(self.core.constraint.of(report));
                 }
-                if used > self.budget {
+                if used > self.core.budget {
                     return None;
                 }
                 Some(Assignment {
@@ -321,13 +348,15 @@ impl HwProblem {
     /// Per-layer constraint consumption for one assignment (used by the
     /// environment's incremental budget check).
     pub fn layer_constraint(&self, layer_idx: usize, la: LayerAssignment) -> f64 {
-        self.constraint
+        self.core
+            .constraint
             .of(&self.evaluate_layer(layer_idx, la.dataflow, la.point))
     }
 
     /// Per-layer objective cost for one assignment.
     pub fn layer_cost(&self, layer_idx: usize, la: LayerAssignment) -> f64 {
-        self.objective
+        self.core
+            .objective
             .of(&self.evaluate_layer(layer_idx, la.dataflow, la.point))
     }
 
@@ -363,7 +392,7 @@ impl HwProblem {
     /// across the model.
     pub fn shape_maxima(&self) -> [f64; 6] {
         let mut m = [1.0f64; 6];
-        for l in self.model.layers() {
+        for l in self.core.model.layers() {
             m[0] = m[0].max(l.k() as f64);
             m[1] = m[1].max(l.c() as f64);
             m[2] = m[2].max(l.y() as f64);
@@ -376,49 +405,47 @@ impl HwProblem {
 
     /// Number of memoized evaluations (observability for tests/benches).
     pub fn cache_len(&self) -> usize {
-        self.engine.cache_len()
+        self.core.engine.cache_len()
     }
 
     /// Cumulative cache hit/miss counters (observability; snapshot with
     /// [`EvalStats::since`] to report per-run deltas).
     pub fn eval_stats(&self) -> EvalStats {
-        self.engine.stats()
+        self.core.engine.stats()
     }
 
     /// Snapshot of the engine's memo cache in its persistable form.
     pub fn cache_snapshot(&self) -> SerializedCache {
-        self.engine.to_serialized()
+        self.core.engine.to_serialized()
     }
 
     /// Loads memoized entries saved by [`HwProblem::cache_snapshot`] into
     /// the engine (additive; the configured capacity bound still applies).
     pub fn load_cache_snapshot(&self, cache: &SerializedCache) {
-        self.engine.load_serialized(cache);
+        self.core.engine.load_serialized(cache);
     }
 
     /// Writes the memo cache to `path` as JSON lines, creating parent
     /// directories as needed. A later run on the *same problem* can
     /// [`HwProblem::load_cache`] it to start warm.
-    pub fn save_cache(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.engine.to_serialized().to_json_lines())
+    pub fn save_cache(&self, path: &std::path::Path) -> Result<(), SearchError> {
+        self.core
+            .engine
+            .save_cache_file(path)
+            .map_err(|e| SearchError::io(path, e))
     }
 
     /// Loads a cache file written by [`HwProblem::save_cache`], returning
     /// the number of entries in the file. Entries are only meaningful for
     /// the same model and cost model the file was saved under.
-    pub fn load_cache(&self, path: &std::path::Path) -> Result<usize, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        let cache = SerializedCache::from_json_lines(&text)
-            .map_err(|e| format!("bad cache file {}: {e:?}", path.display()))?;
-        let n = cache.len();
-        self.engine.load_serialized(&cache);
-        Ok(n)
+    pub fn load_cache(&self, path: &std::path::Path) -> Result<usize, SearchError> {
+        self.core.engine.load_cache_file(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                SearchError::Format(format!("{}: {e}", path.display()))
+            } else {
+                SearchError::io(path, e)
+            }
+        })
     }
 }
 
@@ -436,6 +463,7 @@ pub struct HwProblemBuilder {
     budget_override: Option<f64>,
     threads: Option<usize>,
     cache_capacity: Option<usize>,
+    shared_engine: Option<Arc<EvalEngine>>,
 }
 
 impl HwProblemBuilder {
@@ -492,7 +520,8 @@ impl HwProblemBuilder {
     /// Overrides the evaluation engine's worker count (default: the
     /// `CONFX_THREADS` environment variable, falling back to the machine's
     /// available parallelism). Results are bit-identical for every thread
-    /// count; this only changes wall time.
+    /// count; this only changes wall time. Ignored when
+    /// [`HwProblemBuilder::shared_engine`] supplies the engine.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
@@ -502,18 +531,56 @@ impl HwProblemBuilder {
     /// (oldest entries are evicted per shard once full). The default is
     /// unbounded — long searches on small models revisit points far too
     /// often for eviction to pay off — but memory-constrained sweeps over
-    /// many large models can cap it.
+    /// many large models can cap it. Ignored when
+    /// [`HwProblemBuilder::shared_engine`] supplies the engine (capacity
+    /// is fixed at the engine's construction).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
         self
     }
 
+    /// Builds the problem over an existing engine instead of constructing
+    /// a fresh one, sharing its memo cache. The memoized values key on
+    /// `(layer, dataflow, point)` only, so problems that differ in
+    /// platform, objective, constraint, or deployment — the whole Table IV
+    /// row set of one model — legitimately share one cache; this is what
+    /// lets a long-running server keep a single warm cache per model
+    /// family across jobs.
+    ///
+    /// The engine must have been built for the same model (checked
+    /// against the layer table at [`HwProblemBuilder::build`]).
+    pub fn shared_engine(mut self, engine: Arc<EvalEngine>) -> Self {
+        self.shared_engine = Some(engine);
+        self
+    }
+
     /// Finalizes the problem, measuring `C_max` and deriving the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`shared engine`](HwProblemBuilder::shared_engine) was
+    /// built for a different layer table than this builder's model.
     pub fn build(self) -> HwProblem {
-        let threads = self.threads.unwrap_or_else(maestro::threads_from_env);
-        let mut engine =
-            EvalEngine::with_threads(self.cost_model, self.model.layers().to_vec(), threads);
-        engine.set_cache_capacity(self.cache_capacity);
+        let engine = match self.shared_engine {
+            Some(engine) => {
+                assert_eq!(
+                    engine.layers(),
+                    self.model.layers(),
+                    "shared engine was built for a different model"
+                );
+                engine
+            }
+            None => {
+                let threads = self.threads.unwrap_or_else(maestro::threads_from_env);
+                let mut engine = EvalEngine::with_threads(
+                    self.cost_model,
+                    self.model.layers().to_vec(),
+                    threads,
+                );
+                engine.set_cache_capacity(self.cache_capacity);
+                Arc::new(engine)
+            }
+        };
         let c_max = HwProblem::measure_c_max(
             &engine,
             self.dataflow,
@@ -525,15 +592,17 @@ impl HwProblemBuilder {
             .budget_override
             .unwrap_or(c_max * self.platform.fraction());
         HwProblem {
-            model: self.model,
-            dataflow: self.dataflow,
-            objective: self.objective,
-            constraint: self.constraint,
-            platform: self.platform,
-            deployment: self.deployment,
-            actions: self.actions,
-            budget,
-            engine,
+            core: Arc::new(ProblemCore {
+                model: self.model,
+                dataflow: self.dataflow,
+                objective: self.objective,
+                constraint: self.constraint,
+                platform: self.platform,
+                deployment: self.deployment,
+                actions: self.actions,
+                budget,
+                engine,
+            }),
         }
     }
 }
@@ -644,5 +713,42 @@ mod tests {
             .budget_override(123.0)
             .build();
         assert_eq!(p.budget(), 123.0);
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let p = tiny_problem(PlatformClass::Iot);
+        let q = p.clone();
+        let before = p.cache_len();
+        let point = DesignPoint::new(5, 3).unwrap();
+        q.evaluate_layer(0, Dataflow::EyerissStyle, point);
+        assert_eq!(p.cache_len(), before + 1, "clone must feed the same cache");
+    }
+
+    #[test]
+    fn shared_engine_spans_platforms_of_one_model() {
+        let iot = tiny_problem(PlatformClass::Iot);
+        let cloud = HwProblem::builder(dnn_models::tiny_cnn())
+            .objective(Objective::Energy)
+            .constraint(ConstraintKind::Power, PlatformClass::Cloud)
+            .shared_engine(iot.engine_handle())
+            .build();
+        let stats_before = iot.eval_stats();
+        let point = DesignPoint::new(4, 2).unwrap();
+        // Warm through one problem, hit through the other.
+        iot.evaluate_layer(1, Dataflow::NvdlaStyle, point);
+        cloud.evaluate_layer(1, Dataflow::NvdlaStyle, point);
+        let delta = iot.eval_stats().since(stats_before);
+        assert_eq!(delta.misses, 1, "second problem must reuse the memo");
+        assert_eq!(delta.hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn shared_engine_rejects_model_mismatch() {
+        let p = tiny_problem(PlatformClass::Iot);
+        HwProblem::builder(dnn_models::mobilenet_v2())
+            .shared_engine(p.engine_handle())
+            .build();
     }
 }

@@ -12,7 +12,9 @@ use rl_core::{
 use serde::{Deserialize, Serialize};
 use tinynn::{Rng, SeedableRng};
 
-use crate::{Assignment, Deployment, HwEnv, HwProblem, LayerAssignment, RewardConfig, VecHwEnv};
+use crate::{
+    Assignment, Deployment, HwEnv, HwProblem, LayerAssignment, RewardConfig, SearchError, VecHwEnv,
+};
 
 /// The RL algorithms compared in Table V, plus the MLP-backbone variant of
 /// the paper's agent (Table IX).
@@ -153,7 +155,7 @@ impl RlSearchResult {
 }
 
 /// Constructs an agent of the given kind sized for `env`.
-pub fn make_agent(kind: AlgorithmKind, env: &HwEnv<'_>, rng: &mut Rng) -> Box<dyn Agent> {
+pub fn make_agent(kind: AlgorithmKind, env: &HwEnv, rng: &mut Rng) -> Box<dyn Agent> {
     let obs = env.obs_dim();
     let dims = env.action_dims();
     match kind {
@@ -278,9 +280,9 @@ pub fn run_rl_search_vec_with_reward(
 /// [`RlVecRun::resume`] continues the exact RNG streams and agent weights,
 /// so best/trace/initial-valid are bit-identical to the uninterrupted run;
 /// wall time and engine counters are accumulated across segments.
-struct RlVecRun<'p> {
+struct RlVecRun {
     n_envs: usize,
-    venv: VecHwEnv<'p>,
+    venv: VecHwEnv,
     agent: Box<dyn Agent>,
     rngs: Vec<Rng>,
     result: RlSearchResult,
@@ -294,9 +296,9 @@ struct RlVecRun<'p> {
     segment_start: Instant,
 }
 
-impl<'p> RlVecRun<'p> {
+impl RlVecRun {
     fn new(
-        problem: &'p HwProblem,
+        problem: &HwProblem,
         kind: AlgorithmKind,
         budget: SearchBudget,
         seed: u64,
@@ -352,33 +354,33 @@ impl<'p> RlVecRun<'p> {
     /// construction-RNG draws) and then overlaid with the checkpointed
     /// weights; the per-replica streams resume from their saved positions.
     fn resume(
-        problem: &'p HwProblem,
+        problem: &HwProblem,
         kind: AlgorithmKind,
         budget: SearchBudget,
         seed: u64,
         reward: RewardConfig,
         n_envs: usize,
         state: &GlobalStageState,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SearchError> {
         let n_envs = n_envs.max(1);
         if state.rng_states.len() != n_envs {
-            return Err(format!(
+            return Err(SearchError::Format(format!(
                 "checkpoint has {} RNG streams but n_envs is {n_envs}",
                 state.rng_states.len()
-            ));
+            )));
         }
         if state.trace_bits.len() > budget.epochs {
-            return Err(format!(
+            return Err(SearchError::Format(format!(
                 "checkpoint already spent {} epochs of a {}-epoch budget",
                 state.trace_bits.len(),
                 budget.epochs
-            ));
+            )));
         }
         if state.env_reward_state_bits.len() != n_envs {
-            return Err(format!(
+            return Err(SearchError::Format(format!(
                 "checkpoint has {} replica reward states but n_envs is {n_envs}",
                 state.env_reward_state_bits.len()
-            ));
+            )));
         }
         let mut rng = Rng::seed_from_u64(seed);
         let mut venv = VecHwEnv::with_reward(problem, reward, n_envs);
@@ -389,7 +391,9 @@ impl<'p> RlVecRun<'p> {
             .collect();
         venv.restore_reward_states(&reward_states);
         let mut agent = make_agent(kind, venv.env(0), &mut rng);
-        agent.load_state(&state.agent)?;
+        agent
+            .load_state(&state.agent)
+            .map_err(SearchError::Format)?;
         let rngs: Vec<Rng> = state
             .rng_states
             .iter()
@@ -473,11 +477,13 @@ impl<'p> RlVecRun<'p> {
 
     /// Captures everything needed to continue this run bit-identically.
     /// Errors for agents without [`Agent::save_state`] support.
-    fn checkpoint(&self) -> Result<GlobalStageState, String> {
-        let agent = self
-            .agent
-            .save_state()
-            .ok_or_else(|| format!("{} does not support checkpointing", self.result.algorithm))?;
+    fn checkpoint(&self) -> Result<GlobalStageState, SearchError> {
+        let agent = self.agent.save_state().ok_or_else(|| {
+            SearchError::Unsupported(format!(
+                "{} does not support checkpointing",
+                self.result.algorithm
+            ))
+        })?;
         Ok(GlobalStageState {
             rng_states: self.rngs.iter().map(|r| r.state()).collect(),
             env_reward_state_bits: self
@@ -684,12 +690,12 @@ fn decode_fine_layers(genome: &[i64], dataflows: &[Dataflow]) -> Vec<LayerAssign
 /// Batched fine-genome objective for the local GA: decodes each genome
 /// into per-layer assignments and prices whole generations through the
 /// engine at once.
-struct FineBatchObjective<'a> {
-    problem: &'a HwProblem,
+struct FineBatchObjective {
+    problem: HwProblem,
     dataflows: Vec<Dataflow>,
 }
 
-impl BatchEval<i64> for FineBatchObjective<'_> {
+impl BatchEval<i64> for FineBatchObjective {
     fn eval_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Option<f64>> {
         match self.problem.deployment() {
             Deployment::LayerPipelined => {
@@ -759,11 +765,11 @@ fn fine_setup(problem: &HwProblem, coarse: &Assignment) -> (FineSpace, Vec<i64>,
 
 /// In-flight state of one fine-tuning run: [`fine_tune`] re-expressed as a
 /// resumable stepper whose checkpoint granularity is one GA generation.
-struct FineRun<'p> {
-    problem: &'p HwProblem,
+struct FineRun {
+    problem: HwProblem,
     ga: LocalGa,
     space: FineSpace,
-    eval: FineBatchObjective<'p>,
+    eval: FineBatchObjective,
     cursor: FineCursor,
     rng: Rng,
     budget: usize,
@@ -776,17 +782,20 @@ struct FineRun<'p> {
     segment_start: Instant,
 }
 
-impl<'p> FineRun<'p> {
-    fn new(problem: &'p HwProblem, coarse: &Assignment, evaluations: usize, seed: u64) -> Self {
+impl FineRun {
+    fn new(problem: &HwProblem, coarse: &Assignment, evaluations: usize, seed: u64) -> Self {
         let mut rng = Rng::seed_from_u64(seed);
         let (space, init, dataflows) = fine_setup(problem, coarse);
-        let mut eval = FineBatchObjective { problem, dataflows };
+        let mut eval = FineBatchObjective {
+            problem: problem.clone(),
+            dataflows,
+        };
         let stats_base = problem.eval_stats();
         let segment_start = Instant::now();
         let ga = LocalGa::new(LocalGaConfig::default());
         let cursor = ga.start_batch(&space, &init, evaluations, &mut eval, &mut rng);
         FineRun {
-            problem,
+            problem: problem.clone(),
             ga,
             space,
             eval,
@@ -804,17 +813,20 @@ impl<'p> FineRun<'p> {
     /// are re-derived from the same coarse assignment; population, trace,
     /// and RNG position come from the snapshot.
     fn resume(
-        problem: &'p HwProblem,
+        problem: &HwProblem,
         coarse: &Assignment,
         evaluations: usize,
         state: &FineStageState,
     ) -> Self {
         let (space, _init, dataflows) = fine_setup(problem, coarse);
         FineRun {
-            problem,
+            problem: problem.clone(),
             ga: LocalGa::new(LocalGaConfig::default()),
             space,
-            eval: FineBatchObjective { problem, dataflows },
+            eval: FineBatchObjective {
+                problem: problem.clone(),
+                dataflows,
+            },
             cursor: FineCursor::restore(&state.cursor),
             rng: Rng::from_state(state.rng_state),
             budget: evaluations,
@@ -915,17 +927,25 @@ pub struct TwoStageResult {
 }
 
 impl TwoStageResult {
-    /// The final best cost across both stages.
-    pub fn final_cost(&self) -> Option<f64> {
-        let fine = self
-            .fine
-            .as_ref()
-            .and_then(|f| f.best.as_ref())
-            .map(|a| a.cost);
-        match (fine, self.global.best_cost()) {
-            (Some(f), Some(g)) => Some(f.min(g)),
+    /// The best assignment across both stages, compared with
+    /// [`f64::total_cmp`] (the fine stage wins ties, matching the paper's
+    /// pipeline where stage 2 refines stage 1's winner).
+    pub fn final_best(&self) -> Option<&Assignment> {
+        let fine = self.fine.as_ref().and_then(|f| f.best.as_ref());
+        match (fine, self.global.best.as_ref()) {
+            (Some(f), Some(g)) => Some(if g.cost.total_cmp(&f.cost).is_lt() {
+                g
+            } else {
+                f
+            }),
             (a, b) => a.or(b),
         }
+    }
+
+    /// The final best cost across both stages (total order — see
+    /// [`TwoStageResult::final_best`]).
+    pub fn final_cost(&self) -> Option<f64> {
+        self.final_best().map(|a| a.cost)
     }
 }
 
@@ -1065,34 +1085,37 @@ impl SearchCheckpoint {
     }
 
     /// Parses a checkpoint written by [`SearchCheckpoint::to_json`].
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| format!("bad checkpoint: {e:?}"))
+    pub fn from_json(text: &str) -> Result<Self, SearchError> {
+        serde_json::from_str(text)
+            .map_err(|e| SearchError::Format(format!("bad checkpoint: {e:?}")))
     }
 
     /// Writes the checkpoint to `path` as JSON, creating parent
     /// directories as needed.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SearchError> {
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
             }
-        }
-        std::fs::write(path, self.to_json())
+            std::fs::write(path, self.to_json())
+        };
+        write().map_err(|e| SearchError::io(path, e))
     }
 
     /// Reads a checkpoint previously written by [`SearchCheckpoint::save`].
-    pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    pub fn load(path: &std::path::Path) -> Result<Self, SearchError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SearchError::io(path, e))?;
         Self::from_json(&text)
     }
 }
 
-enum RunnerStage<'p> {
-    Global(RlVecRun<'p>),
+enum RunnerStage {
+    Global(RlVecRun),
     Fine {
         global: RlSearchResult,
-        run: FineRun<'p>,
+        run: FineRun,
     },
     Done(TwoStageResult),
 }
@@ -1112,17 +1135,19 @@ enum RunnerStage<'p> {
 /// rollout round (`min(n_envs, epochs remaining)` epochs) during stage 1,
 /// one GA generation during stage 2, including the stage transition when
 /// the budget of the current stage runs out.
-pub struct TwoStageRunner<'p> {
-    problem: &'p HwProblem,
+pub struct TwoStageRunner {
+    problem: HwProblem,
     config: TwoStageConfig,
     seed: u64,
     // `None` only transiently inside `step`.
-    stage: Option<RunnerStage<'p>>,
+    stage: Option<RunnerStage>,
 }
 
-impl<'p> TwoStageRunner<'p> {
-    /// Starts a fresh two-stage search.
-    pub fn new(problem: &'p HwProblem, config: &TwoStageConfig, seed: u64) -> Self {
+impl TwoStageRunner {
+    /// Starts a fresh two-stage search. The runner owns a handle to the
+    /// problem ([`HwProblem`] clones share one body), so it is `'static`
+    /// and can be moved into a worker thread or held by a job registry.
+    pub fn new(problem: &HwProblem, config: &TwoStageConfig, seed: u64) -> Self {
         let run = RlVecRun::new(
             problem,
             config.algorithm,
@@ -1134,7 +1159,7 @@ impl<'p> TwoStageRunner<'p> {
             config.n_envs,
         );
         TwoStageRunner {
-            problem,
+            problem: problem.clone(),
             config: config.clone(),
             seed,
             stage: Some(RunnerStage::Global(run)),
@@ -1144,12 +1169,12 @@ impl<'p> TwoStageRunner<'p> {
     /// Continues a search from a saved checkpoint. The seed and
     /// configuration come from the checkpoint; `problem` must be rebuilt
     /// identically to the checkpointed run's.
-    pub fn resume(problem: &'p HwProblem, checkpoint: &SearchCheckpoint) -> Result<Self, String> {
+    pub fn resume(problem: &HwProblem, checkpoint: &SearchCheckpoint) -> Result<Self, SearchError> {
         if checkpoint.version != SEARCH_CHECKPOINT_VERSION {
-            return Err(format!(
+            return Err(SearchError::Format(format!(
                 "checkpoint version {} unsupported (expected {SEARCH_CHECKPOINT_VERSION})",
                 checkpoint.version
-            ));
+            )));
         }
         let config = checkpoint.config.clone();
         let seed = checkpoint.seed;
@@ -1169,21 +1194,27 @@ impl<'p> TwoStageRunner<'p> {
             (&checkpoint.global_result, &checkpoint.fine)
         {
             let global = global_result.to_result();
-            let coarse = global
-                .best
-                .clone()
-                .ok_or_else(|| "checkpoint has a fine stage but no coarse best".to_string())?;
+            let coarse = global.best.clone().ok_or_else(|| {
+                SearchError::Format("checkpoint has a fine stage but no coarse best".to_string())
+            })?;
             let run = FineRun::resume(problem, &coarse, config.fine_evaluations, fine);
             RunnerStage::Fine { global, run }
         } else {
-            return Err("malformed checkpoint: no stage state".to_string());
+            return Err(SearchError::Format(
+                "malformed checkpoint: no stage state".to_string(),
+            ));
         };
         Ok(TwoStageRunner {
-            problem,
+            problem: problem.clone(),
             config,
             seed,
             stage: Some(stage),
         })
+    }
+
+    /// The problem this runner searches (a handle to the shared body).
+    pub fn problem(&self) -> &HwProblem {
+        &self.problem
     }
 
     /// Advances the search by one unit of work. Returns `true` while work
@@ -1199,7 +1230,7 @@ impl<'p> TwoStageRunner<'p> {
                     match global.best.clone() {
                         Some(coarse) => {
                             let run = FineRun::new(
-                                self.problem,
+                                &self.problem,
                                 &coarse,
                                 self.config.fine_evaluations,
                                 self.seed ^ 0x5eed,
@@ -1236,7 +1267,7 @@ impl<'p> TwoStageRunner<'p> {
     /// Saves the current position. Errors once the search is complete
     /// (there is nothing left to resume) and for stage-1 agents without
     /// [`Agent::save_state`] support.
-    pub fn checkpoint(&self) -> Result<SearchCheckpoint, String> {
+    pub fn checkpoint(&self) -> Result<SearchCheckpoint, SearchError> {
         let base = SearchCheckpoint {
             version: SEARCH_CHECKPOINT_VERSION,
             seed: self.seed,
@@ -1255,9 +1286,9 @@ impl<'p> TwoStageRunner<'p> {
                 fine: Some(run.checkpoint()),
                 ..base
             }),
-            RunnerStage::Done(_) => {
-                Err("search already complete; nothing to checkpoint".to_string())
-            }
+            RunnerStage::Done(_) => Err(SearchError::Unsupported(
+                "search already complete; nothing to checkpoint".to_string(),
+            )),
         }
     }
 
@@ -1284,6 +1315,22 @@ impl<'p> TwoStageRunner<'p> {
             RunnerStage::Global(_) => 0,
             RunnerStage::Fine { run, .. } => run.evaluations_done(),
             RunnerStage::Done(result) => result.fine.as_ref().map_or(0, |f| f.evaluations),
+        }
+    }
+
+    /// Best feasible cost found so far across whatever stages have run
+    /// (compared with [`f64::total_cmp`]), for progress reporting.
+    pub fn best_cost_so_far(&self) -> Option<f64> {
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Global(run) => run.result.best_cost(),
+            RunnerStage::Fine { global, run } => {
+                let fine = run.cursor.outcome().best.as_ref().map(|(_, cost)| *cost);
+                match (global.best_cost(), fine) {
+                    (Some(g), Some(f)) => Some(if g.total_cmp(&f).is_lt() { g } else { f }),
+                    (a, b) => a.or(b),
+                }
+            }
+            RunnerStage::Done(result) => result.final_cost(),
         }
     }
 

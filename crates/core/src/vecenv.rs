@@ -25,19 +25,22 @@ use crate::{Assignment, Deployment, HwEnv, HwProblem, RewardConfig};
 /// Each replica keeps its own episode state *and* its own cross-episode
 /// reward baseline (`P_min` in the paper's notation), so replicas are
 /// fully independent MDP instances; only the memo cache is shared.
+///
+/// Like [`HwEnv`], the vectorized environment owns problem handles, so it
+/// is `'static` and can be moved into server worker threads.
 #[derive(Debug)]
-pub struct VecHwEnv<'p> {
-    problem: &'p HwProblem,
-    envs: Vec<HwEnv<'p>>,
+pub struct VecHwEnv {
+    problem: HwProblem,
+    envs: Vec<HwEnv>,
 }
 
-impl<'p> VecHwEnv<'p> {
+impl VecHwEnv {
     /// Creates `n_envs` replicas with the paper's default reward shaping.
     ///
     /// # Panics
     ///
     /// Panics if `n_envs == 0`.
-    pub fn new(problem: &'p HwProblem, n_envs: usize) -> Self {
+    pub fn new(problem: &HwProblem, n_envs: usize) -> Self {
         Self::with_reward(problem, RewardConfig::default(), n_envs)
     }
 
@@ -46,10 +49,10 @@ impl<'p> VecHwEnv<'p> {
     /// # Panics
     ///
     /// Panics if `n_envs == 0`.
-    pub fn with_reward(problem: &'p HwProblem, reward: RewardConfig, n_envs: usize) -> Self {
+    pub fn with_reward(problem: &HwProblem, reward: RewardConfig, n_envs: usize) -> Self {
         assert!(n_envs >= 1, "need at least one replica");
         VecHwEnv {
-            problem,
+            problem: problem.clone(),
             envs: (0..n_envs)
                 .map(|_| HwEnv::with_reward(problem, reward))
                 .collect(),
@@ -58,11 +61,11 @@ impl<'p> VecHwEnv<'p> {
 
     /// The shared problem.
     pub fn problem(&self) -> &HwProblem {
-        self.problem
+        &self.problem
     }
 
     /// Immutable access to replica `i`.
-    pub fn env(&self, i: usize) -> &HwEnv<'p> {
+    pub fn env(&self, i: usize) -> &HwEnv {
         &self.envs[i]
     }
 
@@ -129,7 +132,7 @@ impl<'p> VecHwEnv<'p> {
     }
 }
 
-impl VecEnv for VecHwEnv<'_> {
+impl VecEnv for VecHwEnv {
     fn n_envs(&self) -> usize {
         self.envs.len()
     }

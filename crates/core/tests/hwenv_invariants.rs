@@ -41,7 +41,7 @@ fn deployment(idx: usize) -> Deployment {
 }
 
 /// Samples one uniformly random sub-action tuple for `env`.
-fn random_actions(env: &HwEnv<'_>, rng: &mut Rng) -> Vec<usize> {
+fn random_actions(env: &HwEnv, rng: &mut Rng) -> Vec<usize> {
     env.action_dims()
         .iter()
         .map(|&n| rng.gen_range(0..n))

@@ -1,0 +1,74 @@
+//! Golden equivalence: a [`JobSpec`]-built problem must be
+//! indistinguishable from the legacy builder-chain construction — same
+//! budget bits, and bit-identical search results for the same seed.
+
+use confuciux::{
+    two_stage_search, ConstraintKind, DataflowSpec, Deployment, HwProblem, JobBudget, JobSpec,
+    Objective, PlatformClass, TwoStageConfig,
+};
+use maestro::Dataflow;
+
+fn legacy_problem() -> HwProblem {
+    HwProblem::builder(dnn_models::tiny_cnn())
+        .dataflow(Dataflow::NvdlaStyle)
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Iot)
+        .deployment(Deployment::LayerPipelined)
+        .build()
+}
+
+fn spec() -> JobSpec {
+    let mut spec = JobSpec::paper_default("tiny_cnn");
+    spec.budget = JobBudget {
+        global_epochs: 40,
+        fine_evaluations: 150,
+    };
+    spec.seed = 7;
+    spec
+}
+
+#[test]
+fn jobspec_problem_matches_legacy_construction() {
+    let legacy = legacy_problem();
+    let from_spec = spec().build().unwrap();
+    assert_eq!(from_spec.budget().to_bits(), legacy.budget().to_bits());
+    assert_eq!(from_spec.objective(), legacy.objective());
+    assert_eq!(from_spec.constraint(), legacy.constraint());
+    assert_eq!(from_spec.platform(), legacy.platform());
+    assert_eq!(from_spec.deployment(), legacy.deployment());
+    assert_eq!(from_spec.dataflow(), legacy.dataflow());
+    assert_eq!(
+        from_spec.model().layers().len(),
+        legacy.model().layers().len()
+    );
+}
+
+#[test]
+fn jobspec_search_is_digest_identical_to_legacy_path() {
+    let spec = spec();
+    let legacy = legacy_problem();
+    let legacy_outcome = two_stage_search(
+        &legacy,
+        &TwoStageConfig {
+            global_epochs: spec.budget.global_epochs,
+            fine_evaluations: spec.budget.fine_evaluations,
+            ..TwoStageConfig::default()
+        },
+        spec.seed,
+    )
+    .outcome();
+
+    let spec_outcome = spec.into_runner().unwrap().into_result().outcome();
+    assert_eq!(spec_outcome.digest(), legacy_outcome.digest());
+    assert_eq!(spec_outcome.best_cost_bits, legacy_outcome.best_cost_bits);
+    assert_eq!(spec_outcome.trace_fnv, legacy_outcome.trace_fnv);
+}
+
+#[test]
+fn mix_spec_builds_a_mix_problem() {
+    let mut spec = JobSpec::paper_default("tiny_cnn");
+    spec.dataflow = DataflowSpec::Mix;
+    let p = spec.build().unwrap();
+    assert!(p.is_mix());
+    assert_eq!(p.dataflow(), None);
+}

@@ -448,6 +448,36 @@ impl EvalEngine {
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
+    /// Writes the memo cache to `path` as JSON lines, creating parent
+    /// directories as needed. The sidecar lets a later process — or a
+    /// restarted server — rebuild a warm cache with
+    /// [`EvalEngine::load_cache_file`].
+    pub fn save_cache_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_serialized().to_json_lines())
+    }
+
+    /// Loads a sidecar written by [`EvalEngine::save_cache_file`],
+    /// returning the number of entries in the file. Parse failures map to
+    /// [`std::io::ErrorKind::InvalidData`]. Entries are only meaningful
+    /// for the same layer table and cost model the file was saved under.
+    pub fn load_cache_file(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let cache = SerializedCache::from_json_lines(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad cache file: {e:?}"),
+            )
+        })?;
+        let n = cache.len();
+        self.load_serialized(&cache);
+        Ok(n)
+    }
+
     fn shard_of(&self, query: &EvalQuery) -> usize {
         let mut h = FnvHasher::default();
         query.hash(&mut h);

@@ -1,0 +1,24 @@
+//! # confuciux-server — search-as-a-service for the ConfuciuX suite
+//!
+//! A persistent daemon that accepts [`confuciux::JobSpec`] search jobs
+//! over a length-prefixed JSON protocol (TCP or stdin/stdout), runs them
+//! concurrently on a worker pool, and streams progress events back.
+//! All jobs of one model family share a single memoized
+//! [`maestro::EvalEngine`], so a second job on the same model runs
+//! almost entirely from cache; the cache is persisted to per-model
+//! sidecar files on shutdown (and periodically) so the next daemon
+//! starts warm.
+//!
+//! See [`protocol`] for the wire format, [`server`] for the daemon, and
+//! the repository README for a transcript of a typical session.
+
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use protocol::{
+    poll_frame, read_frame, write_frame, Event, FrameError, JobSummary, Polled, Request,
+    MAX_FRAME_LEN,
+};
+pub use registry::{JobStatus, Registry, EVENT_RING_CAP};
+pub use server::{Server, ServerConfig};

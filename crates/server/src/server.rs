@@ -1,0 +1,491 @@
+//! The daemon: a worker pool draining a job queue against the shared
+//! per-model engines, plus connection handlers speaking the frame
+//! protocol over TCP or stdin/stdout.
+//!
+//! Jobs outlive connections. A submit auto-subscribes the submitting
+//! connection, but the job keeps running (and buffering events) if that
+//! connection dies; any later connection can `Attach` and catch up.
+//! Shutdown — by request or SIGTERM — cancels running jobs at their next
+//! step boundary, drains the pool, and flushes every model's cache to its
+//! sidecar file so the next daemon starts warm.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use confuciux::{HwProblem, JobSpec, SearchError, TwoStageRunner};
+
+use crate::protocol::{poll_frame, write_frame, Event, FrameError, Polled, Request};
+use crate::registry::{JobStatus, Registry};
+
+/// How long blocking polls (frame reads, queue receives, accept retries)
+/// wait before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads running jobs concurrently.
+    pub workers: usize,
+    /// Directory for per-model cache sidecars (`<model>.cache.jsonl`).
+    /// `None` disables persistence.
+    pub sidecar_dir: Option<PathBuf>,
+    /// Seconds between periodic sidecar flushes (also flushed once more
+    /// on shutdown).
+    pub flush_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            sidecar_dir: None,
+            flush_secs: 30,
+        }
+    }
+}
+
+struct Inner {
+    registry: Registry,
+    config: ServerConfig,
+    queue: Mutex<mpsc::Sender<u64>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Inner {
+    /// Validates and enqueues a job, returning its id.
+    fn submit(&self, spec: JobSpec) -> Result<u64, SearchError> {
+        spec.validate()?;
+        let id = self.registry.insert(spec);
+        self.queue
+            .lock()
+            .unwrap()
+            .send(id)
+            .map_err(|_| SearchError::Unsupported("daemon is shutting down".to_string()))?;
+        Ok(id)
+    }
+
+    /// Re-enqueues a cancelled/failed job to continue from its latest
+    /// in-memory checkpoint.
+    fn resume(&self, id: u64) -> Result<(), String> {
+        let accepted = self.registry.with_job(id, |state| {
+            let resumable = matches!(state.status, JobStatus::Cancelled | JobStatus::Failed)
+                && state.checkpoint.is_some();
+            if resumable {
+                state.status = JobStatus::Queued;
+            }
+            resumable
+        });
+        match accepted {
+            None => Err(format!("unknown job {id}")),
+            Some(false) => Err(format!(
+                "job {id} is not resumable (must be cancelled/failed with a checkpoint)"
+            )),
+            Some(true) => {
+                if let Some(flag) = self.registry.cancel_flag(id) {
+                    flag.store(false, Ordering::Relaxed);
+                }
+                self.queue
+                    .lock()
+                    .unwrap()
+                    .send(id)
+                    .map_err(|_| "daemon is shutting down".to_string())
+            }
+        }
+    }
+
+    fn sidecar_path(&self, model: &str) -> Option<PathBuf> {
+        self.config
+            .sidecar_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{model}.cache.jsonl")))
+    }
+
+    /// Writes every model's cache to its sidecar file.
+    fn flush_sidecars(&self) {
+        for (model, engine) in self.registry.engines_snapshot() {
+            if let Some(path) = self.sidecar_path(&model) {
+                if let Err(e) = engine.save_cache_file(&path) {
+                    eprintln!("confuciux-server: sidecar flush for {model} failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// The search daemon. Construct with [`Server::new`], then drive it with
+/// [`Server::serve_listener`] (TCP) or [`Server::serve_stdio`]; both
+/// return once the shutdown flag is set and the final sidecar flush is
+/// done.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    pub fn new(config: ServerConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<u64>();
+        let inner = Arc::new(Inner {
+            registry: Registry::new(),
+            config,
+            queue: Mutex::new(tx),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                thread::spawn(move || worker_loop(&inner, &rx))
+            })
+            .collect();
+        let flusher = inner.config.sidecar_dir.is_some().then(|| {
+            let inner = inner.clone();
+            thread::spawn(move || flusher_loop(&inner))
+        });
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+            flusher: Mutex::new(flusher),
+        }
+    }
+
+    /// The flag that stops the daemon; share it with a signal handler to
+    /// make SIGTERM a graceful shutdown.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.inner.shutdown.clone()
+    }
+
+    /// Accepts connections until shutdown, then drains workers and
+    /// flushes sidecars. Returns the bound address via `addr_tx` style —
+    /// use `listener.local_addr()` before calling if you bound port 0.
+    pub fn serve_listener(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !self.inner.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let inner = self.inner.clone();
+                    conns.push(thread::spawn(move || handle_tcp_conn(inner, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL / 2);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        self.finish();
+        Ok(())
+    }
+
+    /// Binds `addr` and serves it; returns the actual bound address
+    /// (useful with port 0) through the callback before blocking.
+    pub fn serve_addr(&self, addr: &str, on_bound: impl FnOnce(SocketAddr)) -> std::io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        self.serve_listener(listener)
+    }
+
+    /// Serves one session over stdin/stdout (the process-child transport),
+    /// then shuts the daemon down when the session ends.
+    pub fn serve_stdio(&self) {
+        serve_connection(&self.inner, std::io::stdin(), std::io::stdout());
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.finish();
+    }
+
+    /// Joins workers and the flusher, then performs the final sidecar
+    /// flush.
+    fn finish(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for worker in self.workers.lock().unwrap().drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(flusher) = self.flusher.lock().unwrap().take() {
+            let _ = flusher.join();
+        }
+        self.inner.flush_sidecars();
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<mpsc::Receiver<u64>>>) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let next = rx.lock().unwrap().recv_timeout(POLL_INTERVAL);
+        match next {
+            Ok(id) => run_job(inner, id),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn flusher_loop(inner: &Arc<Inner>) {
+    let period = Duration::from_secs(inner.config.flush_secs.max(1));
+    let mut since_flush = Duration::ZERO;
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        thread::sleep(POLL_INTERVAL);
+        since_flush += POLL_INTERVAL;
+        if since_flush >= period {
+            inner.flush_sidecars();
+            since_flush = Duration::ZERO;
+        }
+    }
+}
+
+/// Builds the job's problem over the model family's shared engine,
+/// creating (and warm-loading from the sidecar, if present) the engine on
+/// first use.
+fn build_problem(inner: &Inner, spec: &JobSpec) -> Result<HwProblem, SearchError> {
+    let model = dnn_models::by_name(&spec.model)
+        .ok_or_else(|| SearchError::InvalidSpec(format!("unknown model `{}`", spec.model)))?;
+    let canonical = model.name().to_string();
+    if let Some(engine) = inner.registry.engine_for(&canonical) {
+        return spec.build_shared(engine);
+    }
+    let problem = spec.build()?;
+    if let Some(path) = inner.sidecar_path(&canonical) {
+        if path.exists() {
+            match problem.load_cache(&path) {
+                Ok(n) => eprintln!("confuciux-server: warmed {canonical} with {n} sidecar entries"),
+                Err(e) => eprintln!("confuciux-server: sidecar load for {canonical} failed: {e}"),
+            }
+        }
+    }
+    inner
+        .registry
+        .register_engine(&canonical, problem.engine_handle());
+    Ok(problem)
+}
+
+fn fail_job(inner: &Inner, id: u64, error: String) {
+    inner
+        .registry
+        .with_job(id, |state| state.status = JobStatus::Failed);
+    inner.registry.publish(id, |seq| Event::Failed {
+        job: id,
+        seq,
+        error,
+    });
+}
+
+/// Runs one job to completion (or cancellation) on the calling worker
+/// thread, publishing progress along the way.
+fn run_job(inner: &Arc<Inner>, id: u64) {
+    let Some(job) = inner.registry.job(id) else {
+        return;
+    };
+    let (spec, resume_from) = {
+        let mut state = job.lock().unwrap();
+        if state.status != JobStatus::Queued {
+            return;
+        }
+        state.status = JobStatus::Running;
+        (state.spec.clone(), state.checkpoint.clone())
+    };
+    inner
+        .registry
+        .publish(id, |seq| Event::Started { job: id, seq });
+
+    let problem = match build_problem(inner, &spec) {
+        Ok(p) => p,
+        Err(e) => return fail_job(inner, id, e.to_string()),
+    };
+    let mut runner = match &resume_from {
+        Some(checkpoint) => match TwoStageRunner::resume(&problem, checkpoint) {
+            Ok(r) => r,
+            Err(e) => return fail_job(inner, id, format!("resume failed: {e}")),
+        },
+        None => TwoStageRunner::new(&problem, &spec.two_stage_config(), spec.seed),
+    };
+    let stats_base = problem.eval_stats();
+    let cancel = inner
+        .registry
+        .cancel_flag(id)
+        .expect("every registered job has a cancel flag");
+
+    loop {
+        if cancel.load(Ordering::Relaxed) || inner.shutdown.load(Ordering::Relaxed) {
+            inner
+                .registry
+                .with_job(id, |state| state.status = JobStatus::Cancelled);
+            inner
+                .registry
+                .publish(id, |seq| Event::Cancelled { job: id, seq });
+            return;
+        }
+        let more = runner.step();
+        // Keep the freshest resume point in memory; stage-1 agents without
+        // state saving (and finished runs) simply don't refresh it.
+        if let Ok(checkpoint) = runner.checkpoint() {
+            job.lock().unwrap().checkpoint = Some(checkpoint);
+        }
+        let stats = problem.eval_stats().since(stats_base);
+        inner.registry.publish(id, |seq| Event::Progress {
+            job: id,
+            seq,
+            epochs: runner.global_epochs_done(),
+            evaluations: runner.fine_evaluations_done(),
+            best_cost_bits: runner.best_cost_so_far().map(f64::to_bits),
+            stats,
+        });
+        if !more {
+            break;
+        }
+    }
+
+    let outcome = runner
+        .result()
+        .expect("step() returned false, so the runner is done")
+        .outcome();
+    inner.registry.with_job(id, |state| {
+        state.status = JobStatus::Done;
+        state.outcome = Some(outcome.clone());
+    });
+    inner.registry.publish(id, |seq| Event::Done {
+        job: id,
+        seq,
+        outcome: outcome.clone(),
+    });
+}
+
+fn handle_tcp_conn(inner: Arc<Inner>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    serve_connection(&inner, stream, writer);
+}
+
+/// Speaks the protocol on one connection: a writer thread drains the
+/// event channel (which the registry's publishers also feed) while this
+/// thread reads requests.
+fn serve_connection<R: Read, W: Write + Send + 'static>(
+    inner: &Arc<Inner>,
+    mut reader: R,
+    mut writer: W,
+) {
+    let (tx, rx) = mpsc::channel::<Event>();
+    let conn_done = Arc::new(AtomicBool::new(false));
+    let writer_done = conn_done.clone();
+    let writer_thread = thread::spawn(move || loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(event) => {
+                if write_frame(&mut writer, &event).is_err() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if writer_done.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    });
+
+    loop {
+        match poll_frame::<_, Request>(&mut reader) {
+            Ok(Polled::Frame(request)) => {
+                if handle_request(inner, &tx, request) {
+                    break;
+                }
+            }
+            Ok(Polled::Closed) => break,
+            Ok(Polled::Idle) => {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    let _ = tx.send(Event::ShuttingDown);
+                    break;
+                }
+            }
+            // Framing survived; report and keep the connection.
+            Err(FrameError::Malformed(message)) => {
+                let _ = tx.send(Event::Error { message });
+            }
+            // Stream out of sync or broken; nothing more to salvage.
+            Err(_) => break,
+        }
+    }
+    // Give the writer a moment to drain queued events, then stop it. The
+    // registry still holds subscriber clones of `tx`; those get pruned on
+    // their next failed send.
+    drop(tx);
+    conn_done.store(true, Ordering::Relaxed);
+    let _ = writer_thread.join();
+}
+
+/// Executes one request; returns `true` when the connection should close.
+fn handle_request(inner: &Arc<Inner>, tx: &mpsc::Sender<Event>, request: Request) -> bool {
+    match request {
+        Request::Ping => {
+            let _ = tx.send(Event::Pong);
+        }
+        Request::Submit { spec } => match inner.submit(spec) {
+            Ok(job) => {
+                let _ = tx.send(Event::Submitted { job });
+                inner.registry.subscribe(job, tx.clone());
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Error {
+                    message: e.to_string(),
+                });
+            }
+        },
+        Request::Attach { job, from_seq } => {
+            if inner.registry.attach(job, from_seq, tx.clone()).is_none() {
+                let _ = tx.send(Event::Error {
+                    message: format!("unknown job {job}"),
+                });
+            }
+        }
+        Request::Cancel { job } => {
+            if !inner.registry.cancel(job) {
+                let _ = tx.send(Event::Error {
+                    message: format!("unknown job {job}"),
+                });
+            }
+        }
+        Request::Resume { job } => match inner.resume(job) {
+            Ok(()) => {
+                let _ = tx.send(Event::Submitted { job });
+                inner.registry.subscribe(job, tx.clone());
+            }
+            Err(message) => {
+                let _ = tx.send(Event::Error { message });
+            }
+        },
+        Request::Jobs => {
+            let _ = tx.send(Event::JobList {
+                jobs: inner.registry.summaries(),
+            });
+        }
+        Request::Stats => {
+            let (jobs_total, jobs_running, engines, cache_entries) = inner.registry.stats();
+            let _ = tx.send(Event::ServerStats {
+                jobs_total,
+                jobs_running,
+                engines,
+                cache_entries,
+            });
+        }
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::Relaxed);
+            let _ = tx.send(Event::ShuttingDown);
+            return true;
+        }
+    }
+    false
+}

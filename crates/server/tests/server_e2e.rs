@@ -1,0 +1,287 @@
+//! End-to-end daemon tests over real TCP sockets: warm-cache sharing
+//! between sequential jobs, reconnect-with-catchup after a killed client,
+//! cancel/resume from the in-memory checkpoint, and the cache-sidecar
+//! lifecycle across two daemon generations.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use confuciux::{JobBudget, JobSpec, SearchOutcome};
+use confuciux_server::{read_frame, write_frame, Event, Request, Server, ServerConfig};
+
+fn start_server(config: ServerConfig) -> (thread::JoinHandle<()>, SocketAddr) {
+    let server = Arc::new(Server::new(config));
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        server
+            .serve_addr("127.0.0.1:0", |addr| addr_tx.send(addr).unwrap())
+            .unwrap();
+    });
+    let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    (handle, addr)
+}
+
+fn small_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::paper_default("tiny_cnn");
+    spec.budget = JobBudget {
+        global_epochs: 30,
+        fine_evaluations: 150,
+    };
+    spec.seed = seed;
+    spec
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("connect to test daemon")
+}
+
+fn next_event(stream: &mut TcpStream) -> Event {
+    read_frame(stream)
+        .expect("read event frame")
+        .expect("daemon closed the stream unexpectedly")
+}
+
+/// Submits a job and follows its stream to `Done`, returning the job id,
+/// the outcome, and every job-scoped event seen.
+fn submit_and_finish(addr: SocketAddr, spec: JobSpec) -> (u64, SearchOutcome, Vec<Event>) {
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Submit { spec }).unwrap();
+    let job = match next_event(&mut stream) {
+        Event::Submitted { job } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    let mut events = Vec::new();
+    loop {
+        let event = next_event(&mut stream);
+        events.push(event.clone());
+        if let Event::Done { outcome, .. } = event {
+            return (job, outcome, events);
+        }
+        assert!(
+            !matches!(event, Event::Failed { .. } | Event::Cancelled { .. }),
+            "job ended early: {event:?}"
+        );
+    }
+}
+
+fn shut_down(addr: SocketAddr) {
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Shutdown).unwrap();
+    // Drain until the daemon confirms; it closes after ShuttingDown.
+    while let Ok(Some(event)) = read_frame::<_, Event>(&mut stream) {
+        if matches!(event, Event::ShuttingDown) {
+            break;
+        }
+    }
+}
+
+fn job_seqs(events: &[Event]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|e| e.job_seq().map(|(_, seq)| seq))
+        .collect()
+}
+
+#[test]
+fn sequential_jobs_share_one_warm_cache() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 2,
+        sidecar_dir: None,
+        flush_secs: 3600,
+    });
+
+    let (_, cold, _) = submit_and_finish(addr, small_spec(11));
+    let (_, warm, _) = submit_and_finish(addr, small_spec(11));
+
+    // Same spec, same seed: bit-identical search regardless of cache
+    // temperature...
+    assert_eq!(warm.digest(), cold.digest());
+    // ...but the second job ran almost entirely from the shared cache.
+    assert!(
+        warm.hit_rate() > 0.8,
+        "expected >80% warm hits, got {:.1}% ({:?})",
+        warm.hit_rate() * 100.0,
+        warm.eval_stats
+    );
+    assert!(
+        warm.hit_rate() > cold.hit_rate(),
+        "warm hit rate {:.3} should exceed cold {:.3}",
+        warm.hit_rate(),
+        cold.hit_rate()
+    );
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn killed_client_reattaches_and_catches_up() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 2,
+        sidecar_dir: None,
+        flush_secs: 3600,
+    });
+    let spec = small_spec(23);
+    // The ground truth: the same spec run uninterrupted, in-process.
+    let expected = spec
+        .clone()
+        .into_runner()
+        .unwrap()
+        .into_result()
+        .outcome()
+        .digest();
+
+    // Submit, read a couple of events, then "die" without saying goodbye.
+    let job = {
+        let mut doomed = connect(addr);
+        write_frame(&mut doomed, &Request::Submit { spec }).unwrap();
+        let job = match next_event(&mut doomed) {
+            Event::Submitted { job } => job,
+            other => panic!("expected Submitted, got {other:?}"),
+        };
+        let _ = next_event(&mut doomed);
+        job
+        // dropped here: socket closes mid-job
+    };
+
+    // Reconnect and catch up from the very first event.
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Attach { job, from_seq: 0 }).unwrap();
+    match next_event(&mut stream) {
+        Event::Attached {
+            job: j, from_seq, ..
+        } => {
+            assert_eq!(j, job);
+            assert_eq!(from_seq, 0);
+        }
+        other => panic!("expected Attached, got {other:?}"),
+    }
+    let mut events = Vec::new();
+    let outcome = loop {
+        let event = next_event(&mut stream);
+        events.push(event.clone());
+        if let Event::Done { outcome, .. } = event {
+            break outcome;
+        }
+    };
+
+    // Catch-up replays the full history: seqs are gapless from 0, and the
+    // final result is bit-identical to the uninterrupted run.
+    let seqs = job_seqs(&events);
+    let want: Vec<u64> = (0..seqs.len() as u64).collect();
+    assert_eq!(seqs, want, "replay + live events must be gapless");
+    assert_eq!(outcome.digest(), expected);
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn cancel_then_resume_finishes_bit_identically() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 2,
+        sidecar_dir: None,
+        flush_secs: 3600,
+    });
+    let mut spec = JobSpec::paper_default("tiny_cnn");
+    spec.budget = JobBudget {
+        global_epochs: 60,
+        fine_evaluations: 150,
+    };
+    spec.seed = 37;
+    let expected = spec
+        .clone()
+        .into_runner()
+        .unwrap()
+        .into_result()
+        .outcome()
+        .digest();
+
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Submit { spec }).unwrap();
+    let job = match next_event(&mut stream) {
+        Event::Submitted { job } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    // Let it make some progress, then cancel.
+    loop {
+        if matches!(next_event(&mut stream), Event::Progress { .. }) {
+            break;
+        }
+    }
+    write_frame(&mut stream, &Request::Cancel { job }).unwrap();
+    loop {
+        match next_event(&mut stream) {
+            Event::Cancelled { .. } => break,
+            Event::Progress { .. } | Event::Started { .. } => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    // Resume from the daemon's in-memory checkpoint and follow to Done.
+    write_frame(&mut stream, &Request::Resume { job }).unwrap();
+    let outcome = loop {
+        match next_event(&mut stream) {
+            Event::Done { outcome, .. } => break outcome,
+            Event::Failed { error, .. } => panic!("resumed job failed: {error}"),
+            _ => {}
+        }
+    };
+    assert_eq!(
+        outcome.digest(),
+        expected,
+        "cancel + resume must not change the result"
+    );
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn sidecar_survives_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "confuciux-server-sidecar-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Generation 1: run one job cold, shut down (flushes the sidecar).
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: Some(PathBuf::from(&dir)),
+        flush_secs: 3600,
+    });
+    let (_, cold, _) = submit_and_finish(addr, small_spec(5));
+    shut_down(addr);
+    serve.join().unwrap();
+
+    // Sidecars are named after the *canonical* model name, not the alias
+    // the spec used.
+    let canonical = dnn_models::by_name("tiny_cnn").unwrap().name().to_string();
+    let sidecar = dir.join(format!("{canonical}.cache.jsonl"));
+    assert!(sidecar.exists(), "shutdown must flush {sidecar:?}");
+    assert!(std::fs::metadata(&sidecar).unwrap().len() > 0);
+
+    // Generation 2: a fresh daemon warm-loads the sidecar, so even its
+    // *first* job of the family runs mostly from cache.
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: Some(PathBuf::from(&dir)),
+        flush_secs: 3600,
+    });
+    let (_, warm, _) = submit_and_finish(addr, small_spec(5));
+    assert_eq!(warm.digest(), cold.digest());
+    assert!(
+        warm.hit_rate() > 0.8,
+        "sidecar warm start should serve >80% from cache, got {:.1}%",
+        warm.hit_rate() * 100.0
+    );
+    shut_down(addr);
+    serve.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
