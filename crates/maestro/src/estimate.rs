@@ -155,10 +155,18 @@ impl CostModel {
                 // re-broadcast for every temporal Y'-tile pass.
                 let w_passes = m.t_outer as f64;
                 let w_l2l1 = weights * w_passes;
-                // Input rows are shared diagonally across the array; each
-                // k-group pass re-reads the input once.
-                let in_passes = layer.k().div_ceil(kt) as f64 / (layer.k() as f64 / ktf).max(1.0);
-                let in_l2l1 = inputs * in_passes.max(1.0);
+                // Input rows are shared diagonally across the array, but the
+                // temporal loop over k-groups re-broadcasts them: every one
+                // of the ceil(K / kt) passes re-reads the input from L2.
+                // Depth-wise layers are the exception: channel group k reads
+                // only its own input slice, so the passes cover the input
+                // exactly once between them.
+                let in_passes = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
+                    1.0
+                } else {
+                    layer.k().div_ceil(kt) as f64
+                };
+                let in_l2l1 = inputs * in_passes;
                 // Psums accumulate across R spatially and C temporally in
                 // L1: outputs leave the array once.
                 let out_l1l2 = outputs;
@@ -365,6 +373,31 @@ mod tests {
             big.dram_bytes < small.dram_bytes,
             "bigger kt => fewer k-group passes => less input refetch"
         );
+    }
+
+    #[test]
+    fn bigger_tiles_cut_eyeriss_input_refetch_traffic() {
+        // Regression for the degenerate `in_passes ≈ 1.0` bug: row-stationary
+        // L2->L1 input traffic must scale with the ceil(K / kt) k-group
+        // passes, so it strictly falls as the tile covers more filters.
+        let layer = conv();
+        let m = model();
+        let mut last = f64::INFINITY;
+        for kt in [1u64, 2, 4, 8, 16, 32] {
+            let traffic = m
+                .evaluate(&layer, Dataflow::EyerissStyle, dp(16, kt))
+                .l2_traffic_bytes;
+            assert!(
+                traffic < last,
+                "kt={kt}: L2 traffic {traffic} did not fall below {last}"
+            );
+            last = traffic;
+        }
+        // Depth-wise layers read disjoint input slices per channel group, so
+        // their input traffic must NOT scale with the k-group count.
+        let dw_small = m.evaluate(&dw(), Dataflow::EyerissStyle, dp(16, 1));
+        let dw_big = m.evaluate(&dw(), Dataflow::EyerissStyle, dp(16, 12));
+        assert!(dw_small.l2_traffic_bytes <= dw_big.l2_traffic_bytes * 1.01);
     }
 
     #[test]
