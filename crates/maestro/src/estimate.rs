@@ -246,12 +246,16 @@ impl CostModel {
         // larger L1s pay a mild per-access premium (wordline/bitline length).
         let l1_access_factor = 1.0 + 0.08 * (l1_bytes_per_pe / 16.0).max(1.0).log2();
         let l1_accesses = macs * 3.0 * bytes;
+        // NoC hop count scales with the mesh spanned by the PEs the mapping
+        // actually occupies — idle rows/columns of an oversized array are
+        // clock-gated and never see the data.
+        let noc_hops = (mapping.used_pes() as f64).sqrt().max(1.0);
         let energy = EnergyBreakdown {
             mac_nj: macs * t.e_mac_pj * 1e-3,
             l1_nj: l1_accesses * t.e_l1_pj_per_byte * l1_access_factor * 1e-3,
             l2_nj: l2_traffic_bytes * t.e_l2_pj_per_byte * 1e-3,
             dram_nj: dram_bytes * t.e_dram_pj_per_byte * 1e-3,
-            noc_nj: l2_traffic_bytes * t.e_noc_pj_per_byte_hop * p.sqrt().max(1.0) * 1e-3,
+            noc_nj: l2_traffic_bytes * t.e_noc_pj_per_byte_hop * noc_hops * 1e-3,
         };
 
         // --- Area. ---
@@ -268,8 +272,9 @@ impl CostModel {
         let leakage_mw = area.total_um2() * t.leak_mw_per_um2;
         let power_mw = dynamic_mw + leakage_mw;
 
+        // Utilization stays defined over *provisioned* PEs: an oversized
+        // array is a bad design choice and must show up as waste.
         let utilization = (macs / (p * compute_cycles)).clamp(0.0, 1.0);
-        let _ = mapping;
 
         CostReport {
             latency_cycles: latency,
@@ -342,6 +347,24 @@ mod tests {
         let a = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(64, 1));
         let b = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(4096, 1));
         assert!(b.compute_cycles >= a.compute_cycles * 0.99);
+        assert!(b.utilization < a.utilization);
+    }
+
+    #[test]
+    fn idle_pes_pay_area_but_not_hop_energy() {
+        // Regression for `account()` ignoring its `mapping` argument: NoC hop
+        // energy used sqrt(provisioned PEs), so growing the array around a
+        // fixed mapping inflated the energy of data that never travels. The
+        // tiny layer below occupies 16 PEs regardless of array size, so the
+        // whole energy breakdown must be bit-identical while area grows and
+        // utilization collapses.
+        let layer = Layer::conv2d("tiny", 4, 4, 8, 8, 3, 3, 1).unwrap();
+        let m = model();
+        let a = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(64, 1));
+        let b = m.evaluate(&layer, Dataflow::NvdlaStyle, dp(4096, 1));
+        assert_eq!(a.energy.noc_nj.to_bits(), b.energy.noc_nj.to_bits());
+        assert_eq!(a.energy_nj.to_bits(), b.energy_nj.to_bits());
+        assert!(b.area_um2 > a.area_um2);
         assert!(b.utilization < a.utilization);
     }
 

@@ -48,9 +48,9 @@ fn golden_cases() -> Vec<Golden> {
             dataflow: Dataflow::EyerissStyle,
             point: DesignPoint::new(64, 2).unwrap(),
             latency_cycles: 32320.0,
-            energy_nj: 46676.926464000004,
+            energy_nj: 46671.800361326204,
             area_um2: 145109.2380952381,
-            power_mw: 244.57620645921736,
+            power_mw: 244.4176017972804,
             utilization: 0.65625,
             dram_bytes: 325056.0,
         },
@@ -74,9 +74,9 @@ fn golden_cases() -> Vec<Golden> {
             dataflow: Dataflow::ShiDianNaoStyle,
             point: DesignPoint::new(128, 8).unwrap(),
             latency_cycles: 524352.0,
-            energy_nj: 193306.82254779252,
+            energy_nj: 192628.17504720044,
             area_um2: 199614.5,
-            power_mw: 236.15661933775883,
+            power_mw: 234.8623599459913,
             utilization: 0.5,
             dram_bytes: 622592.0,
         },
