@@ -196,14 +196,15 @@ impl CostModel {
                 } else {
                     layer.k().div_ceil(kt) as f64
                 };
-                let in_l2l1 = inputs * k_groups.clamp(1.0, 4.0);
+                let in_l2l1 = inputs * k_groups.clamp(1.0, self.tech.shi_halo_reuse_cap);
                 let l2_tile = ktf * r * s // broadcast weight tile
                     + (m.used_pes() as f64) * r * s / r.max(1.0) // halo-shared inputs
                     + (m.used_pes() as f64) * ktf; // resident psums
                 TrafficModel {
                     l2_to_l1_elems: w_l2l1 + in_l2l1,
                     l1_to_l2_elems: out_l1l2,
-                    dram_in_elems: weights * w_passes.min(8.0) + inputs,
+                    dram_in_elems: weights * w_passes.min(self.tech.shi_weight_dram_pass_cap)
+                        + inputs,
                     dram_out_elems: outputs,
                     l2_tile_elems: l2_tile,
                 }

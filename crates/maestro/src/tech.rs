@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Technology constants for a 28 nm-class process at 1 GHz.
 ///
@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// search experiments is the *relative* cost structure: DRAM ≫ L2 ≫ L1 ≫ MAC
 /// energy per byte, and SRAM area per byte vs. MAC area setting the
 /// compute/memory area trade-off.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TechModel {
     /// Clock frequency in GHz (cycles == ns at 1 GHz).
     pub freq_ghz: f64,
@@ -37,6 +37,67 @@ pub struct TechModel {
     pub dram_bw_bytes_per_cycle: f64,
     /// Pipeline fill/drain overhead added to every layer, in cycles.
     pub startup_cycles: f64,
+    /// ShiDianNao halo-reuse cap: the output-stationary array shares input
+    /// pixels between neighbouring PEs, so after this many k-group passes
+    /// the input working set is resident in L1 and further passes hit
+    /// locally instead of re-reading L2. Dimensionless pass count.
+    pub shi_halo_reuse_cap: f64,
+    /// ShiDianNao DRAM weight-pass cap: weights are re-streamed per spatial
+    /// output tile from L2, but DRAM keeps at most this many passes —
+    /// beyond it the L2 weight tile is assumed to survive between tiles
+    /// (it is tiny: `kt·R·S` elements). Dimensionless pass count.
+    pub shi_weight_dram_pass_cap: f64,
+}
+
+// Hand-written (the vendored derive has no `#[serde(default)]`): the two
+// ShiDianNao caps are newer than the serialized configs in the wild, so
+// they fall back to the historical values when absent; every other field
+// stays required, exactly as the derive would have it.
+impl serde::Deserialize for TechModel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn req(v: &serde::Value, field: &str) -> Result<f64, serde::DeError> {
+            match v.get_field(field) {
+                Some(x) => serde::Deserialize::from_value(x),
+                None => Err(serde::DeError::missing_field("TechModel", field)),
+            }
+        }
+        fn opt(v: &serde::Value, field: &str, default: f64) -> Result<f64, serde::DeError> {
+            match v.get_field(field) {
+                Some(x) => serde::Deserialize::from_value(x),
+                None => Ok(default),
+            }
+        }
+        Ok(TechModel {
+            freq_ghz: req(v, "freq_ghz")?,
+            bytes_per_elem: req(v, "bytes_per_elem")?,
+            e_mac_pj: req(v, "e_mac_pj")?,
+            e_l1_pj_per_byte: req(v, "e_l1_pj_per_byte")?,
+            e_l2_pj_per_byte: req(v, "e_l2_pj_per_byte")?,
+            e_dram_pj_per_byte: req(v, "e_dram_pj_per_byte")?,
+            e_noc_pj_per_byte_hop: req(v, "e_noc_pj_per_byte_hop")?,
+            mac_area_um2: req(v, "mac_area_um2")?,
+            sram_area_um2_per_byte: req(v, "sram_area_um2_per_byte")?,
+            noc_area_um2_per_pe: req(v, "noc_area_um2_per_pe")?,
+            noc_area_um2_per_bw_byte: req(v, "noc_area_um2_per_bw_byte")?,
+            leak_mw_per_um2: req(v, "leak_mw_per_um2")?,
+            dram_bw_bytes_per_cycle: req(v, "dram_bw_bytes_per_cycle")?,
+            startup_cycles: req(v, "startup_cycles")?,
+            shi_halo_reuse_cap: opt(v, "shi_halo_reuse_cap", default_shi_halo_reuse_cap())?,
+            shi_weight_dram_pass_cap: opt(
+                v,
+                "shi_weight_dram_pass_cap",
+                default_shi_weight_dram_pass_cap(),
+            )?,
+        })
+    }
+}
+
+fn default_shi_halo_reuse_cap() -> f64 {
+    4.0
+}
+
+fn default_shi_weight_dram_pass_cap() -> f64 {
+    8.0
 }
 
 impl Default for TechModel {
@@ -56,6 +117,8 @@ impl Default for TechModel {
             leak_mw_per_um2: 5.0e-5,
             dram_bw_bytes_per_cycle: 16.0,
             startup_cycles: 64.0,
+            shi_halo_reuse_cap: default_shi_halo_reuse_cap(),
+            shi_weight_dram_pass_cap: default_shi_weight_dram_pass_cap(),
         }
     }
 }
@@ -97,8 +160,29 @@ mod tests {
             t.leak_mw_per_um2,
             t.dram_bw_bytes_per_cycle,
             t.startup_cycles,
+            t.shi_halo_reuse_cap,
+            t.shi_weight_dram_pass_cap,
         ] {
             assert!(v > 0.0);
         }
+    }
+
+    #[test]
+    fn shi_caps_deserialize_from_legacy_json() {
+        // Configs serialized before the caps were promoted to TechModel
+        // fields must still load, picking up the historical values.
+        let mut fields = match TechModel::default().to_value() {
+            serde::Value::Object(f) => f,
+            other => panic!("tech model serializes to an object, got {other:?}"),
+        };
+        fields.retain(|(k, _)| k != "shi_halo_reuse_cap" && k != "shi_weight_dram_pass_cap");
+        let t: TechModel = serde::Deserialize::from_value(&serde::Value::Object(fields))
+            .expect("legacy config loads");
+        assert_eq!(t.shi_halo_reuse_cap, 4.0);
+        assert_eq!(t.shi_weight_dram_pass_cap, 8.0);
+        // A config that *does* pin the caps wins over the defaults.
+        let full: TechModel =
+            serde::Deserialize::from_value(&TechModel::default().to_value()).unwrap();
+        assert_eq!(full, TechModel::default());
     }
 }
