@@ -436,7 +436,10 @@ fn handle_request(inner: &Arc<Inner>, tx: &mpsc::Sender<Event>, request: Request
         Request::Submit { spec } => match inner.submit(spec) {
             Ok(job) => {
                 let _ = tx.send(Event::Submitted { job });
-                inner.registry.subscribe(job, tx.clone());
+                // The worker may start publishing between submit() and
+                // here; a bare subscribe() would drop those events. Attach
+                // from seq 0 instead — it replays the gap atomically.
+                let _ = inner.registry.attach(job, 0, tx.clone());
             }
             Err(e) => {
                 let _ = tx.send(Event::Error {
@@ -458,15 +461,24 @@ fn handle_request(inner: &Arc<Inner>, tx: &mpsc::Sender<Event>, request: Request
                 });
             }
         }
-        Request::Resume { job } => match inner.resume(job) {
-            Ok(()) => {
-                let _ = tx.send(Event::Submitted { job });
-                inner.registry.subscribe(job, tx.clone());
+        Request::Resume { job } => {
+            // Snapshot the seq horizon before re-enqueueing, so the attach
+            // below replays exactly the resumed run's events (racing the
+            // worker like Submit does) and none of the previous run's.
+            let from_seq = inner
+                .registry
+                .with_job(job, |state| state.events_emitted())
+                .unwrap_or(0);
+            match inner.resume(job) {
+                Ok(()) => {
+                    let _ = tx.send(Event::Submitted { job });
+                    let _ = inner.registry.attach(job, from_seq, tx.clone());
+                }
+                Err(message) => {
+                    let _ = tx.send(Event::Error { message });
+                }
             }
-            Err(message) => {
-                let _ = tx.send(Event::Error { message });
-            }
-        },
+        }
         Request::Jobs => {
             let _ = tx.send(Event::JobList {
                 jobs: inner.registry.summaries(),
