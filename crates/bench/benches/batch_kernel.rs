@@ -1,0 +1,75 @@
+//! Criterion comparison of the SoA batch pricing kernel against a scalar
+//! `CostModel::evaluate` loop on a GA-population-sized batch (the shape the
+//! optimizers actually produce: one generation of 100 individuals over
+//! MobileNet-V2's layers, mixed dataflows, a few dozen distinct design
+//! points). The kernel is bit-identical to the scalar loop — see the
+//! `kernel_identity` suite — so this measures pure pricing throughput.
+//!
+//! The PR that introduced the kernel gates on >= 3x single-thread speedup
+//! here; `perf_smoke` re-checks a cheaper version of the same ratio in CI
+//! on every push.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro::{BatchQueries, CostModel, CostReport, Dataflow, DesignPoint, LayerInvariants};
+use std::hint::black_box;
+
+/// One GA generation over MobileNet-V2: population 100 x 52 layers.
+const BATCH: usize = 5200;
+
+struct Soa {
+    layers: Vec<usize>,
+    dataflows: Vec<Dataflow>,
+    points: Vec<DesignPoint>,
+}
+
+fn ga_population(n_layers: usize) -> Soa {
+    let mut soa = Soa {
+        layers: Vec::with_capacity(BATCH),
+        dataflows: Vec::with_capacity(BATCH),
+        points: Vec::with_capacity(BATCH),
+    };
+    for i in 0..BATCH {
+        soa.layers.push(i % n_layers);
+        soa.dataflows.push(Dataflow::ALL[i % Dataflow::ALL.len()]);
+        // A GA population revisits a modest grid of design points — the
+        // memo-friendly (and realistic) regime, unlike the all-unique
+        // worst case `perf_smoke` uses for the engine's pool.
+        let pes = 1u64 << (i % 12);
+        let tile = 1 + (i % 24) as u64;
+        soa.points.push(DesignPoint::new(pes, tile).unwrap());
+    }
+    soa
+}
+
+fn bench_batch_kernel(c: &mut Criterion) {
+    let model = CostModel::default();
+    let layers = dnn_models::mobilenet_v2().layers().to_vec();
+    let invariants = LayerInvariants::new(&layers);
+    let soa = ga_population(layers.len());
+    let queries = BatchQueries {
+        layers: &soa.layers,
+        dataflows: &soa.dataflows,
+        points: &soa.points,
+    };
+    let mut out = vec![CostReport::default(); BATCH];
+
+    let mut group = c.benchmark_group("batch_kernel");
+    group.bench_function("scalar_loop_5200", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                out[i] = model.evaluate(
+                    black_box(&layers[soa.layers[i]]),
+                    soa.dataflows[i],
+                    soa.points[i],
+                );
+            }
+        })
+    });
+    group.bench_function("evaluate_batch_into_5200", |b| {
+        b.iter(|| model.evaluate_batch_into(black_box(&invariants), &queries, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_kernel);
+criterion_main!(benches);

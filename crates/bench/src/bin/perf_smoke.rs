@@ -25,7 +25,7 @@ use confuciux::{
     Objective, PlatformClass, VecEnv, VecHwEnv,
 };
 use confuciux_bench::{standard_spec, Args};
-use maestro::{CostModel, Dataflow, DesignPoint};
+use maestro::{BatchQueries, CostModel, CostReport, Dataflow, DesignPoint, LayerInvariants};
 use serde::{Deserialize, Serialize};
 
 /// Allowed relative regression on every gated metric.
@@ -63,6 +63,14 @@ const RL_VEC_ENVS: usize = 64;
 /// round clear the worker-pool threshold that per-episode stepping never
 /// can.
 const RL_MIN_SPEEDUP: f64 = 0.75;
+/// Floor on the batch pricing kernel's single-thread speedup over the
+/// scalar `CostModel::evaluate` loop on a GA-shaped batch. The Criterion
+/// bench (`cargo bench --bench batch_kernel`) shows ~3.6x on the same
+/// shape; this CI floor is deliberately conservative so shared-runner
+/// noise can't produce phantom failures, while still catching any change
+/// that erodes the kernel's memoization. Hardware-local ratio, so it
+/// gates on every machine class.
+const KERNEL_MIN_SPEEDUP: f64 = 2.0;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchCi {
@@ -88,6 +96,14 @@ struct BenchCi {
     parallel_evals_per_sec: f64,
     /// `parallel / serial` throughput ratio.
     parallel_speedup: f64,
+    /// Single-thread scalar `CostModel::evaluate` loop throughput on a
+    /// GA-shaped (memo-friendly) batch.
+    kernel_evals_per_sec_scalar: f64,
+    /// Single-thread `CostModel::evaluate_batch_into` throughput on the
+    /// same batch.
+    kernel_evals_per_sec_batch: f64,
+    /// `batch / scalar` kernel throughput ratio.
+    kernel_batch_speedup: f64,
     /// Serial (1 replica, 1 worker) RL-rollout throughput in env steps/sec.
     rl_env_steps_per_sec_serial: f64,
     /// Vectorized ([`RL_VEC_ENVS`] replicas) RL-rollout throughput.
@@ -210,6 +226,10 @@ fn main() {
     let parallel_evals_per_sec = best_throughput(threads, &layers, &queries);
     let parallel_speedup = parallel_evals_per_sec / serial_evals_per_sec;
 
+    // --- Batch pricing kernel microbench: scalar loop vs. SoA kernel. ---
+    let (kernel_evals_per_sec_scalar, kernel_evals_per_sec_batch) = kernel_throughputs(&layers);
+    let kernel_batch_speedup = kernel_evals_per_sec_batch / kernel_evals_per_sec_scalar;
+
     // --- RL-rollout microbench: serial vs vectorized env stepping. ---
     let rl_env_steps_per_sec_serial = rl_rollout_steps_per_sec(1, 1);
     let rl_env_steps_per_sec_vec = rl_rollout_steps_per_sec(RL_VEC_ENVS, threads);
@@ -227,6 +247,9 @@ fn main() {
         serial_evals_per_sec,
         parallel_evals_per_sec,
         parallel_speedup,
+        kernel_evals_per_sec_scalar,
+        kernel_evals_per_sec_batch,
+        kernel_batch_speedup,
         rl_env_steps_per_sec_serial,
         rl_env_steps_per_sec_vec,
         rl_vec_speedup,
@@ -286,6 +309,16 @@ fn main() {
                 baseline.parallel_evals_per_sec,
             ),
             (
+                "kernel scalar evals/sec",
+                report.kernel_evals_per_sec_scalar,
+                baseline.kernel_evals_per_sec_scalar,
+            ),
+            (
+                "kernel batch evals/sec",
+                report.kernel_evals_per_sec_batch,
+                baseline.kernel_evals_per_sec_batch,
+            ),
+            (
                 "serial rl env-steps/sec",
                 report.rl_env_steps_per_sec_serial,
                 baseline.rl_env_steps_per_sec_serial,
@@ -320,6 +353,17 @@ fn main() {
              (needs >= {MIN_GATE_THREADS} of each); speedup still recorded"
         );
     }
+    // The kernel floor is machine-class independent (both sides of the
+    // ratio run single-threaded on this machine), so it gates everywhere.
+    if report.kernel_batch_speedup < KERNEL_MIN_SPEEDUP {
+        failures.push(format!(
+            "batch kernel speedup {:.2}x below the {KERNEL_MIN_SPEEDUP:.1}x floor \
+             (scalar {:.0} vs batch {:.0} evals/sec)",
+            report.kernel_batch_speedup,
+            report.kernel_evals_per_sec_scalar,
+            report.kernel_evals_per_sec_batch
+        ));
+    }
     // The rollout floor is machine-class independent (both sides of the
     // ratio run on this machine), so it gates everywhere.
     if report.rl_vec_speedup < RL_MIN_SPEEDUP {
@@ -338,6 +382,46 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Best-of-5 single-thread throughputs `(scalar, batch)` of the raw
+/// [`CostModel`] — no engine, no cache — on a GA-shaped batch: one
+/// generation over the model's layers, mixed dataflows, a modest grid of
+/// design points (the memo-friendly regime the kernel is built for, unlike
+/// the all-unique worst case the engine microbench above uses). The two
+/// modes are interleaved within each repetition so frequency drift on a
+/// shared runner hits both sides equally.
+fn kernel_throughputs(layers: &[maestro::Layer]) -> (f64, f64) {
+    let model = CostModel::default();
+    let invariants = LayerInvariants::new(layers);
+    let n = BATCH_QUERIES;
+    let mut lis = Vec::with_capacity(n);
+    let mut dfs = Vec::with_capacity(n);
+    let mut pts = Vec::with_capacity(n);
+    for i in 0..n {
+        lis.push(i % layers.len());
+        dfs.push(Dataflow::ALL[i % Dataflow::ALL.len()]);
+        pts.push(DesignPoint::new(1u64 << (i % 12), 1 + (i % 24) as u64).expect("positive"));
+    }
+    let queries = BatchQueries {
+        layers: &lis,
+        dataflows: &dfs,
+        points: &pts,
+    };
+    let mut out = vec![CostReport::default(); n];
+    let mut scalar_best = 0.0f64;
+    let mut batch_best = 0.0f64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for i in 0..n {
+            out[i] = model.evaluate(&layers[lis[i]], dfs[i], pts[i]);
+        }
+        scalar_best = scalar_best.max(n as f64 / start.elapsed().as_secs_f64().max(1e-9));
+        let start = Instant::now();
+        model.evaluate_batch_into(&invariants, &queries, &mut out);
+        batch_best = batch_best.max(n as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    (scalar_best, batch_best)
 }
 
 /// Best-of-3 throughput (evals/sec) of a fresh engine on `queries`; fresh

@@ -145,7 +145,11 @@ impl HwProblem {
     }
 
     /// Evaluates a batch of `(layer, dataflow, point)` triples through the
-    /// engine in one shot; entry `i` answers `queries[i]`.
+    /// engine in one shot; entry `i` answers `queries[i]`. Cache misses are
+    /// priced through the engine's SoA batch kernel
+    /// (`CostModel::evaluate_batch_into`) — bit-identical to scalar
+    /// evaluation, just much faster on batches that revisit layers, tiles
+    /// or array sizes.
     ///
     /// # Panics
     ///
@@ -217,8 +221,9 @@ impl HwProblem {
     /// Batch form of [`Self::evaluate_lp`]: every candidate's per-layer
     /// queries are fused into cache-sized engine batches (a GA population
     /// of `P` candidates over an `n`-layer model becomes `P·n` queries,
-    /// dispatched a few hundred at a time), then reassembled per
-    /// candidate. Results are bit-identical to calling
+    /// dispatched a few hundred at a time, misses priced by the SoA batch
+    /// kernel), then reassembled per candidate. Results are bit-identical
+    /// to calling
     /// [`Self::evaluate_lp`] in a loop; the only difference is that
     /// infeasible candidates still price all their layers (the cost of
     /// dispatching a batch before any budget sum is known).
@@ -298,8 +303,9 @@ impl HwProblem {
     }
 
     /// Batch form of [`Self::evaluate_ls`]: all configurations' per-layer
-    /// queries run as fused, cache-sized engine batches. Results are
-    /// bit-identical to calling [`Self::evaluate_ls`] in a loop.
+    /// queries run as fused, cache-sized engine batches with misses priced
+    /// by the SoA batch kernel. Results are bit-identical to calling
+    /// [`Self::evaluate_ls`] in a loop.
     pub fn evaluate_ls_batch(
         &self,
         configs: &[(Dataflow, DesignPoint)],

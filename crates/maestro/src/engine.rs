@@ -19,6 +19,13 @@
 //!    — and therefore every downstream trace — is independent of thread
 //!    scheduling.
 //!
+//! The miss path itself — serial or per worker chunk — prices through the
+//! SoA batch kernel ([`CostModel::evaluate_batch_into`], bit-identical to
+//! the scalar model by construction), against a [`LayerInvariants`] table
+//! the engine builds once at construction. Only singleton
+//! [`CostOracle::evaluate_query`] misses still call the scalar
+//! [`CostModel::evaluate`] directly.
+//!
 //! Determinism is structural, not incidental: the cost model is a pure
 //! function, cache pre-pass and counter updates happen on the calling
 //! thread, and parallel workers only ever compute disjoint entries of the
@@ -33,7 +40,7 @@ use std::sync::{mpsc, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CostModel, CostReport, Dataflow, DesignPoint, Layer};
+use crate::{BatchQueries, CostModel, CostReport, Dataflow, DesignPoint, Layer, LayerInvariants};
 
 /// FNV-1a hasher for the engine's query maps. An [`EvalQuery`] is a tiny
 /// fixed-shape key and the memo path sits next to ~60ns model runs, so the
@@ -308,6 +315,10 @@ impl Shard {
 pub struct EvalEngine {
     model: CostModel,
     layers: Vec<Layer>,
+    /// Per-layer precomputed constants for the batch pricing kernel; built
+    /// once at construction so every miss batch skips the per-query layer
+    /// arithmetic.
+    invariants: LayerInvariants,
     threads: usize,
     shards: Vec<Mutex<Shard>>,
     /// Max memoized entries across all shards (`None` = unbounded). The
@@ -333,6 +344,7 @@ impl EvalEngine {
     /// `1`). Tests use this to compare thread counts in-process.
     pub fn with_threads(model: CostModel, layers: Vec<Layer>, threads: usize) -> Self {
         EvalEngine {
+            invariants: LayerInvariants::new(&layers),
             model,
             layers,
             threads: threads.max(1),
@@ -506,12 +518,30 @@ impl EvalEngine {
         self.model.evaluate(layer, query.dataflow, query.point)
     }
 
-    /// Evaluates the deduplicated miss list, in parallel when it pays.
+    /// Evaluates the deduplicated miss list through the batch pricing
+    /// kernel ([`CostModel::evaluate_batch_into`]), in parallel when it
+    /// pays.
     ///
-    /// Workers claim indices from a shared atomic counter and ship
-    /// `(index, report)` pairs back over a channel; reassembly by index on
-    /// the calling thread makes the result order scheduling-independent.
+    /// The miss list is repacked into the kernel's struct-of-arrays form
+    /// once; workers claim fixed-size chunks from a shared atomic counter,
+    /// price each chunk with one kernel call, and ship `(start, reports)`
+    /// back over a channel. Reassembly by chunk start on the calling thread
+    /// makes the result order scheduling-independent, and the kernel itself
+    /// is bit-identical to the scalar oracle, so chunk boundaries cannot
+    /// affect results either.
     fn evaluate_pending(&self, pending: &[EvalQuery]) -> Vec<CostReport> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let layer_ids: Vec<usize> = pending.iter().map(|q| q.layer).collect();
+        let dataflows: Vec<Dataflow> = pending.iter().map(|q| q.dataflow).collect();
+        let points: Vec<DesignPoint> = pending.iter().map(|q| q.point).collect();
+        let queries = BatchQueries {
+            layers: &layer_ids,
+            dataflows: &dataflows,
+            points: &points,
+        };
+        let mut out = vec![CostReport::default(); pending.len()];
         // Small batches — e.g. one synchronized step of a few vectorized
         // RL replicas — run inline instead of paying more in spawn latency
         // than the whole batch costs (see [`MIN_PENDING_PER_WORKER`]).
@@ -522,34 +552,43 @@ impl EvalEngine {
             .min(pending.len() / MIN_PENDING_PER_WORKER)
             .max(1);
         if workers <= 1 {
-            return pending.iter().map(|q| self.evaluate_uncached(q)).collect();
+            self.model
+                .evaluate_batch_into(&self.invariants, &queries, &mut out);
+            return out;
         }
+        let chunk = MIN_PENDING_PER_WORKER;
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, CostReport)>();
+        let (tx, rx) = mpsc::channel::<(usize, Vec<CostReport>)>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let queries = &queries;
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= pending.len() {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= pending.len() {
                         break;
                     }
-                    let report = self.evaluate_uncached(&pending[i]);
-                    if tx.send((i, report)).is_err() {
+                    let end = (start + chunk).min(pending.len());
+                    let slice = BatchQueries {
+                        layers: &queries.layers[start..end],
+                        dataflows: &queries.dataflows[start..end],
+                        points: &queries.points[start..end],
+                    };
+                    let mut reports = vec![CostReport::default(); end - start];
+                    self.model
+                        .evaluate_batch_into(&self.invariants, &slice, &mut reports);
+                    if tx.send((start, reports)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            let mut out: Vec<Option<CostReport>> = vec![None; pending.len()];
-            for (i, report) in rx {
-                out[i] = Some(report);
+            for (start, reports) in rx {
+                out[start..start + reports.len()].clone_from_slice(&reports);
             }
-            out.into_iter()
-                .map(|r| r.expect("every index claimed by exactly one worker"))
-                .collect()
-        })
+        });
+        out
     }
 }
 

@@ -19,6 +19,12 @@ use crate::{
 /// 4. **Roofline latency** — compute cycles vs. DRAM streaming cycles.
 /// 5. **Cost accounting** — energy per access level, SRAM/MAC/NoC area,
 ///    dynamic + leakage power.
+///
+/// The scalar [`CostModel::evaluate`] is the semantic oracle. The batch
+/// entry points in [`crate::kernel`] price many queries at once through the
+/// *same* stage functions below, so the two paths are bit-identical by
+/// construction: the batch side only memoizes values the scalar side
+/// computes fresh, never reassociating a floating-point expression.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     tech: TechModel,
@@ -26,7 +32,7 @@ pub struct CostModel {
 
 /// Per-dataflow traffic analysis in *elements* (converted to bytes at the
 /// accounting stage).
-struct TrafficModel {
+pub(crate) struct TrafficModel {
     /// Elements fetched from L2 into the PE array (counting multicasts once).
     l2_to_l1_elems: f64,
     /// Elements written back from the array to L2 (outputs + psum spills).
@@ -37,6 +43,99 @@ struct TrafficModel {
     dram_out_elems: f64,
     /// Per-step working set held in L2 (elements), before double-buffering.
     l2_tile_elems: f64,
+}
+
+/// Per-layer values every evaluation needs, precomputed once.
+///
+/// Each field is exactly the expression the scalar path used to evaluate
+/// inline (`layer.out_y() as f64`, `layer.macs()`, ...). Integer-to-f64
+/// conversion and integer arithmetic are deterministic, so hoisting them
+/// preserves bit-identity; the batch kernel computes this struct once per
+/// layer instead of once per query.
+#[derive(Debug, Clone)]
+pub(crate) struct LayerNums {
+    pub(crate) is_depthwise: bool,
+    pub(crate) k: u64,
+    /// `layer.r() as f64`
+    pub(crate) rf: f64,
+    /// `layer.s() as f64`
+    pub(crate) sf: f64,
+    /// `layer.out_y() as f64`
+    pub(crate) yof: f64,
+    /// `layer.out_x() as f64`
+    pub(crate) xof: f64,
+    /// `layer.reduction_channels() as f64`
+    pub(crate) c_redf: f64,
+    /// `layer.x() as f64`
+    pub(crate) xf: f64,
+    pub(crate) weights: f64,
+    pub(crate) inputs: f64,
+    pub(crate) outputs: f64,
+    pub(crate) macs: f64,
+}
+
+impl LayerNums {
+    pub(crate) fn new(layer: &Layer) -> Self {
+        LayerNums {
+            is_depthwise: layer.kind() == crate::LayerKind::DepthwiseConv2d,
+            k: layer.k(),
+            rf: layer.r() as f64,
+            sf: layer.s() as f64,
+            yof: layer.out_y() as f64,
+            xof: layer.out_x() as f64,
+            c_redf: layer.reduction_channels() as f64,
+            xf: layer.x() as f64,
+            weights: layer.weight_elems(),
+            inputs: layer.input_elems(),
+            outputs: layer.output_elems(),
+            macs: layer.macs(),
+        }
+    }
+}
+
+/// The f64 views of a [`SpatialMapping`] the stage functions consume,
+/// plus the two derived values that involve a transcendental (`sqrt`) or
+/// repeated conversion. Computed once per distinct mapping by the batch
+/// kernel; the scalar path builds it fresh per call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MappingNums {
+    /// `m.used_pes() as f64`
+    pub(crate) used_f: f64,
+    /// `m.p_outer as f64`
+    pub(crate) p_outer_f: f64,
+    /// `m.p_inner as f64`
+    pub(crate) p_inner_f: f64,
+    /// `m.t_outer as f64`
+    pub(crate) t_outer_f: f64,
+    /// `m.t_inner as f64`
+    pub(crate) t_inner_f: f64,
+    /// `m.temporal_iters()` == `t_outer as f64 * t_inner as f64`
+    pub(crate) temporal: f64,
+    /// `(m.used_pes() as f64).sqrt().max(1.0)` — mesh diameter spanned by
+    /// the occupied PEs (see `account_from`).
+    pub(crate) noc_hops: f64,
+}
+
+impl MappingNums {
+    pub(crate) fn new(m: &SpatialMapping) -> Self {
+        let used_f = m.used_pes() as f64;
+        MappingNums {
+            used_f,
+            p_outer_f: m.p_outer as f64,
+            p_inner_f: m.p_inner as f64,
+            t_outer_f: m.t_outer as f64,
+            t_inner_f: m.t_inner as f64,
+            temporal: m.temporal_iters(),
+            noc_hops: used_f.sqrt().max(1.0),
+        }
+    }
+}
+
+/// Per-access L1 energy premium for larger scratchpads (wordline/bitline
+/// length): `1 + 0.08·log2(max(bytes/16, 1))`. Shared by the scalar path
+/// (computed per call) and the batch kernel (memoized per `(layer, kt)`).
+pub(crate) fn l1_access_factor(l1_bytes_per_pe: f64) -> f64 {
+    1.0 + 0.08 * (l1_bytes_per_pe / 16.0).max(1.0).log2()
 }
 
 impl CostModel {
@@ -54,70 +153,49 @@ impl CostModel {
     ///
     /// The returned report is always "physical": finite, non-negative, with
     /// `latency >= 1` and `utilization` in `(0, 1]`.
+    ///
+    /// This is the oracle the batch kernel is held bit-identical to; it
+    /// computes everything fresh with no memoization.
     pub fn evaluate(&self, layer: &Layer, dataflow: Dataflow, point: DesignPoint) -> CostReport {
-        let p = point.num_pes();
+        let nums = LayerNums::new(layer);
         let kt = point.tile().min(layer.k().max(1));
+        let ktf = kt as f64;
+        let k_groups = layer.k().div_ceil(kt) as f64;
         let (d_outer, d_inner) = dataflow.parallel_extents(layer, kt);
-        let mapping = SpatialMapping::factor(p, d_outer, d_inner);
-        let compute_cycles = self.compute_cycles(layer, dataflow, kt, &mapping);
-        let traffic = self.traffic(layer, dataflow, kt, &mapping);
-        self.account(
-            layer,
-            dataflow,
-            point,
-            kt,
-            &mapping,
+        let mapping = SpatialMapping::factor(point.num_pes(), d_outer, d_inner);
+        let m = MappingNums::new(&mapping);
+        let compute_cycles = compute_cycles_from(&nums, dataflow, ktf, k_groups, &m);
+        let traffic = self.traffic_from(&nums, dataflow, ktf, k_groups, &m);
+        let l1_bytes_per_pe = dataflow.l1_bytes(layer, kt);
+        self.account_from(
+            &nums,
+            point.num_pes() as f64,
+            l1_bytes_per_pe,
+            l1_access_factor(l1_bytes_per_pe),
+            m.noc_hops,
             compute_cycles,
             traffic,
         )
     }
 
-    /// Compute-bound cycles: temporal iterations × per-PE work per iteration,
-    /// at one MAC per PE per cycle.
-    fn compute_cycles(
-        &self,
-        layer: &Layer,
-        dataflow: Dataflow,
-        kt: u64,
-        m: &SpatialMapping,
-    ) -> f64 {
-        let ktf = kt as f64;
-        let r = layer.r() as f64;
-        let s = layer.s() as f64;
-        let yo = layer.out_y() as f64;
-        let xo = layer.out_x() as f64;
-        let c_red = layer.reduction_channels() as f64;
-        let k_groups = layer.k().div_ceil(kt) as f64;
-        match dataflow {
-            // Outer = K-groups, inner = reduction channels; temporal loop
-            // over every output position. Each PE does kt·R·S MACs per
-            // position for its (k-group, channel) assignment.
-            Dataflow::NvdlaStyle => m.temporal_iters() * yo * xo * ktf * r * s,
-            // Outer = Y', inner = R; temporal loop over k-groups, channels
-            // and X'. Each PE convolves one filter row for kt filters: kt·S
-            // MACs per step.
-            Dataflow::EyerissStyle => m.temporal_iters() * k_groups * c_red * xo * ktf * s,
-            // Outer = Y', inner = X'; temporal loop over k-groups and the
-            // full reduction. Each PE accumulates kt output channels for its
-            // pixel: kt·R·S MACs per channel step.
-            Dataflow::ShiDianNaoStyle => m.temporal_iters() * k_groups * c_red * ktf * r * s,
-        }
-    }
-
     /// Per-dataflow reuse/traffic analysis (in elements).
-    fn traffic(
+    ///
+    /// `ktf` is `kt as f64` and `k_groups` is `layer.k().div_ceil(kt) as
+    /// f64`, both computed by the caller (the batch kernel memoizes them per
+    /// `(layer, kt)`).
+    pub(crate) fn traffic_from(
         &self,
-        layer: &Layer,
+        n: &LayerNums,
         dataflow: Dataflow,
-        kt: u64,
-        m: &SpatialMapping,
+        ktf: f64,
+        k_groups: f64,
+        m: &MappingNums,
     ) -> TrafficModel {
-        let weights = layer.weight_elems();
-        let inputs = layer.input_elems();
-        let outputs = layer.output_elems();
-        let r = layer.r() as f64;
-        let s = layer.s() as f64;
-        let ktf = kt as f64;
+        let weights = n.weights;
+        let inputs = n.inputs;
+        let outputs = n.outputs;
+        let r = n.rf;
+        let s = n.sf;
         match dataflow {
             Dataflow::NvdlaStyle => {
                 // Weight-stationary: weights enter L1 once per (k-group,
@@ -128,20 +206,16 @@ impl CostModel {
                 // Depth-wise layers are the exception: each output channel
                 // reads only its own input channel, so k-group passes never
                 // re-touch the same input data.
-                let in_passes = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
-                    1.0
-                } else {
-                    m.t_outer as f64
-                };
+                let in_passes = if n.is_depthwise { 1.0 } else { m.t_outer_f };
                 let in_l2l1 = inputs * in_passes;
                 // Partial sums spill to L2 whenever the reduction is split
                 // temporally across channel tiles.
-                let psum_rounds = m.t_inner as f64;
+                let psum_rounds = m.t_inner_f;
                 let out_l1l2 = outputs * psum_rounds;
                 let out_reread = outputs * (psum_rounds - 1.0).max(0.0);
-                let l2_tile = (m.used_pes() as f64) * ktf * r * s // weights
-                    + (m.p_inner as f64) * r * s                  // input patches
-                    + (m.p_outer as f64) * ktf; // psums
+                let l2_tile = m.used_f * ktf * r * s // weights
+                    + m.p_inner_f * r * s            // input patches
+                    + m.p_outer_f * ktf; // psums
                 TrafficModel {
                     l2_to_l1_elems: w_l2l1 + in_l2l1 + out_reread,
                     l1_to_l2_elems: out_l1l2,
@@ -153,7 +227,7 @@ impl CostModel {
             Dataflow::EyerissStyle => {
                 // Row-stationary: filter rows persist across X'; they are
                 // re-broadcast for every temporal Y'-tile pass.
-                let w_passes = m.t_outer as f64;
+                let w_passes = m.t_outer_f;
                 let w_l2l1 = weights * w_passes;
                 // Input rows are shared diagonally across the array, but the
                 // temporal loop over k-groups re-broadcasts them: every one
@@ -161,18 +235,12 @@ impl CostModel {
                 // Depth-wise layers are the exception: channel group k reads
                 // only its own input slice, so the passes cover the input
                 // exactly once between them.
-                let in_passes = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
-                    1.0
-                } else {
-                    layer.k().div_ceil(kt) as f64
-                };
+                let in_passes = if n.is_depthwise { 1.0 } else { k_groups };
                 let in_l2l1 = inputs * in_passes;
                 // Psums accumulate across R spatially and C temporally in
                 // L1: outputs leave the array once.
                 let out_l1l2 = outputs;
-                let l2_tile = (m.used_pes() as f64) * ktf * s
-                    + (m.p_outer as f64) * layer.x() as f64
-                    + (m.p_outer as f64) * layer.out_x() as f64;
+                let l2_tile = m.used_f * ktf * s + m.p_outer_f * n.xf + m.p_outer_f * n.xof;
                 TrafficModel {
                     l2_to_l1_elems: w_l2l1 + in_l2l1,
                     l1_to_l2_elems: out_l1l2,
@@ -186,20 +254,16 @@ impl CostModel {
                 let out_l1l2 = outputs;
                 // Weights are broadcast to the whole array, re-streamed for
                 // every spatial output tile.
-                let w_passes = m.temporal_iters();
+                let w_passes = m.temporal;
                 let w_l2l1 = weights * w_passes;
                 // Inputs are shared between neighbouring PEs (halo reuse);
                 // each k-group pass re-reads the input — except depth-wise
                 // layers, whose channels read disjoint input slices.
-                let k_groups = if layer.kind() == crate::LayerKind::DepthwiseConv2d {
-                    1.0
-                } else {
-                    layer.k().div_ceil(kt) as f64
-                };
-                let in_l2l1 = inputs * k_groups.clamp(1.0, self.tech.shi_halo_reuse_cap);
+                let in_groups = if n.is_depthwise { 1.0 } else { k_groups };
+                let in_l2l1 = inputs * in_groups.clamp(1.0, self.tech.shi_halo_reuse_cap);
                 let l2_tile = ktf * r * s // broadcast weight tile
-                    + (m.used_pes() as f64) * r * s / r.max(1.0) // halo-shared inputs
-                    + (m.used_pes() as f64) * ktf; // resident psums
+                    + m.used_f * r * s / r.max(1.0) // halo-shared inputs
+                    + m.used_f * ktf; // resident psums
                 TrafficModel {
                     l2_to_l1_elems: w_l2l1 + in_l2l1,
                     l1_to_l2_elems: out_l1l2,
@@ -212,25 +276,29 @@ impl CostModel {
         }
     }
 
+    /// Final accounting stage shared verbatim by the scalar and batch paths.
+    ///
+    /// `l1_bytes_per_pe`, `l1_factor` and `noc_hops` are passed in because
+    /// the batch kernel memoizes them (per `(layer, kt)` and per mapping
+    /// respectively); the scalar path computes them fresh with the same
+    /// expressions.
     #[allow(clippy::too_many_arguments)]
-    fn account(
+    pub(crate) fn account_from(
         &self,
-        layer: &Layer,
-        dataflow: Dataflow,
-        point: DesignPoint,
-        kt: u64,
-        mapping: &SpatialMapping,
+        n: &LayerNums,
+        p: f64,
+        l1_bytes_per_pe: f64,
+        l1_factor: f64,
+        noc_hops: f64,
         compute_cycles: f64,
         traffic: TrafficModel,
     ) -> CostReport {
         let t = &self.tech;
         let bytes = t.bytes_per_elem;
-        let macs = layer.macs();
-        let p = point.num_pes() as f64;
+        let macs = n.macs;
 
         let l2_traffic_bytes = (traffic.l2_to_l1_elems + traffic.l1_to_l2_elems) * bytes;
         let dram_bytes = (traffic.dram_in_elems + traffic.dram_out_elems) * bytes;
-        let l1_bytes_per_pe = dataflow.l1_bytes(layer, kt);
         let l2_bytes = 2.0 * traffic.l2_tile_elems * bytes; // double-buffered
 
         // --- Latency: roofline of compute vs. DRAM streaming. ---
@@ -244,16 +312,14 @@ impl CostModel {
 
         // --- Energy. ---
         // Every MAC reads a weight and an input and updates a psum in L1;
-        // larger L1s pay a mild per-access premium (wordline/bitline length).
-        let l1_access_factor = 1.0 + 0.08 * (l1_bytes_per_pe / 16.0).max(1.0).log2();
+        // larger L1s pay a mild per-access premium (`l1_factor`). NoC hop
+        // count scales with the mesh spanned by the PEs the mapping actually
+        // occupies — idle rows/columns of an oversized array are clock-gated
+        // and never see the data.
         let l1_accesses = macs * 3.0 * bytes;
-        // NoC hop count scales with the mesh spanned by the PEs the mapping
-        // actually occupies — idle rows/columns of an oversized array are
-        // clock-gated and never see the data.
-        let noc_hops = (mapping.used_pes() as f64).sqrt().max(1.0);
         let energy = EnergyBreakdown {
             mac_nj: macs * t.e_mac_pj * 1e-3,
-            l1_nj: l1_accesses * t.e_l1_pj_per_byte * l1_access_factor * 1e-3,
+            l1_nj: l1_accesses * t.e_l1_pj_per_byte * l1_factor * 1e-3,
             l2_nj: l2_traffic_bytes * t.e_l2_pj_per_byte * 1e-3,
             dram_nj: dram_bytes * t.e_dram_pj_per_byte * 1e-3,
             noc_nj: l2_traffic_bytes * t.e_noc_pj_per_byte_hop * noc_hops * 1e-3,
@@ -294,6 +360,31 @@ impl CostModel {
             l2_traffic_bytes,
             noc_bw_bytes_per_cycle: noc_bw,
         }
+    }
+}
+
+/// Compute-bound cycles: temporal iterations × per-PE work per iteration,
+/// at one MAC per PE per cycle.
+pub(crate) fn compute_cycles_from(
+    n: &LayerNums,
+    dataflow: Dataflow,
+    ktf: f64,
+    k_groups: f64,
+    m: &MappingNums,
+) -> f64 {
+    match dataflow {
+        // Outer = K-groups, inner = reduction channels; temporal loop
+        // over every output position. Each PE does kt·R·S MACs per
+        // position for its (k-group, channel) assignment.
+        Dataflow::NvdlaStyle => m.temporal * n.yof * n.xof * ktf * n.rf * n.sf,
+        // Outer = Y', inner = R; temporal loop over k-groups, channels
+        // and X'. Each PE convolves one filter row for kt filters: kt·S
+        // MACs per step.
+        Dataflow::EyerissStyle => m.temporal * k_groups * n.c_redf * n.xof * ktf * n.sf,
+        // Outer = Y', inner = X'; temporal loop over k-groups and the
+        // full reduction. Each PE accumulates kt output channels for its
+        // pixel: kt·R·S MACs per channel step.
+        Dataflow::ShiDianNaoStyle => m.temporal * k_groups * n.c_redf * ktf * n.rf * n.sf,
     }
 }
 

@@ -43,6 +43,7 @@ mod design;
 mod engine;
 mod error;
 mod estimate;
+mod kernel;
 mod layer;
 mod mapping;
 mod report;
@@ -55,6 +56,7 @@ pub use engine::{
 };
 pub use error::MaestroError;
 pub use estimate::CostModel;
+pub use kernel::{BatchQueries, LayerInvariants};
 pub use layer::{Layer, LayerKind};
 pub use mapping::SpatialMapping;
 pub use report::{AreaBreakdown, CostReport, EnergyBreakdown};

@@ -24,6 +24,27 @@ impl SpatialMapping {
     /// shape the array for the layer.
     pub fn factor(num_pes: u64, d_outer: u64, d_inner: u64) -> SpatialMapping {
         assert!(num_pes >= 1 && d_outer >= 1 && d_inner >= 1);
+        // Fast path: both extents fit in the array at once, so the unique
+        // maximum is full spatial coverage with one temporal iteration per
+        // axis — exactly what the outer-first candidate produces, and any
+        // tying candidate is forced to the same split (p_outer <= d_outer
+        // and p_inner <= d_inner pin both factors). The batch kernel hits
+        // this for most oversized-array queries; `factor_matches_candidate_search`
+        // proves the equivalence property-style.
+        if d_outer.saturating_mul(d_inner) <= num_pes {
+            return SpatialMapping {
+                p_outer: d_outer,
+                p_inner: d_inner,
+                t_outer: 1,
+                t_inner: 1,
+            };
+        }
+        Self::candidate_search(num_pes, d_outer, d_inner)
+    }
+
+    /// The full three-candidate search `factor` falls back to when the
+    /// extents do not trivially fit.
+    fn candidate_search(num_pes: u64, d_outer: u64, d_inner: u64) -> SpatialMapping {
         let candidates = [
             Self::try_split(num_pes, d_outer, d_inner, true),
             Self::try_split(num_pes, d_outer, d_inner, false),
@@ -145,6 +166,20 @@ mod tests {
             let a = SpatialMapping::factor(num_pes, d_outer, d_inner);
             let b = SpatialMapping::factor(num_pes * 2, d_outer, d_inner);
             prop_assert!(b.used_pes() >= a.used_pes());
+        }
+
+        #[test]
+        fn factor_matches_candidate_search(
+            num_pes in 1u64..=8192,
+            d_outer in 1u64..=512,
+            d_inner in 1u64..=512,
+        ) {
+            // The integer fast path must be indistinguishable from the full
+            // candidate search (the slow region delegates, so this bites
+            // exactly where the fast path fires).
+            let fast = SpatialMapping::factor(num_pes, d_outer, d_inner);
+            let slow = SpatialMapping::candidate_search(num_pes, d_outer, d_inner);
+            prop_assert_eq!(fast, slow);
         }
     }
 }
