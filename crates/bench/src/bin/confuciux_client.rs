@@ -12,13 +12,30 @@
 //! * `--cancel JOB` / `--resume JOB` — stop or continue a job.
 //! * `--jobs` / `--stats` / `--ping` / `--shutdown` — daemon queries.
 //!
-//! Job parameters (`--epochs`, `--fine-evals`, `--seed`, `--n-envs`)
-//! override the paper-default [`JobSpec`]. On `Done` the client prints
-//! the outcome summary plus its determinism digest, so two runs of the
-//! same spec can be diffed with `grep digest`.
+//! Job parameters (`--epochs`, `--fine-evals`, `--seed`, `--n-envs`,
+//! `--deadline-ms`) override the paper-default [`JobSpec`]. On `Done`
+//! (or `Degraded`) the client prints the outcome summary plus its
+//! determinism digest, so two runs of the same spec can be diffed with
+//! `grep digest`.
+//!
+//! ## Resilience
+//!
+//! The client survives a flaky daemon link without losing events:
+//!
+//! * Connects (and reconnects) with up to `--retries` attempts, spaced
+//!   by seeded exponential backoff with jitter starting at
+//!   `--backoff-ms` — deterministic for a given `--seed`.
+//! * If the stream dies mid-follow (TCP reset, daemon-side drop,
+//!   `--timeout-ms` of silence), it reconnects and re-attaches from
+//!   `last_seq + 1`; the registry's replay makes the interruption
+//!   invisible in the printed event log (no gap, no duplicate).
+//! * A `Rejected{retry_after_ms}` admission response is honoured by
+//!   sleeping `max(retry_after_ms, backoff)` and resubmitting, counting
+//!   against the same retry budget.
 
 use std::net::TcpStream;
 use std::process::exit;
+use std::time::Duration;
 
 use confuciux::JobSpec;
 use confuciux_server::{read_frame, write_frame, Event, Request};
@@ -30,8 +47,12 @@ struct ClientArgs {
     fine_evals: Option<usize>,
     seed: Option<u64>,
     n_envs: Option<usize>,
+    deadline_ms: Option<u64>,
     follow: bool,
     from_seq: u64,
+    retries: u32,
+    backoff_ms: u64,
+    timeout_ms: u64,
 }
 
 enum Action {
@@ -54,7 +75,7 @@ ACTIONS (exactly one):
   --submit MODEL     submit a search job and stream events until Done
   --attach JOB       re-attach to a job and catch up from --from-seq
   --cancel JOB       cancel a running or queued job
-  --resume JOB       resume a cancelled or failed job (streams events)
+  --resume JOB       resume a cancelled/failed/degraded job (streams events)
   --jobs             list jobs
   --stats            server statistics
   --ping             liveness check
@@ -64,10 +85,17 @@ PARAMS:
   --addr HOST:PORT   daemon address (default 127.0.0.1:7464)
   --epochs N         stage-1 budget override for --submit
   --fine-evals N     stage-2 budget override for --submit
-  --seed N           RNG seed override for --submit
+  --seed N           RNG seed override for --submit (also seeds backoff jitter)
   --n-envs N         vectorized-rollout replicas for --submit
+  --deadline-ms N    per-run deadline for --submit; on expiry the job
+                     returns its best-so-far outcome marked degraded
   --from-seq N       first event sequence to replay for --attach (default 0)
   --no-follow        with --submit: return after the Submitted ack
+  --retries N        reconnect/resubmit attempts on failure (default 3)
+  --backoff-ms N     base retry backoff, doubled per attempt + jitter
+                     (default 200)
+  --timeout-ms N     read-silence budget before declaring the stream dead
+                     and re-attaching; 0 disables (default 0)
 ";
 
 fn parse_args() -> ClientArgs {
@@ -78,8 +106,12 @@ fn parse_args() -> ClientArgs {
         fine_evals: None,
         seed: None,
         n_envs: None,
+        deadline_ms: None,
         follow: true,
         from_seq: 0,
+        retries: 3,
+        backoff_ms: 200,
+        timeout_ms: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut action = None;
@@ -122,8 +154,14 @@ fn parse_args() -> ClientArgs {
             }
             "--seed" => out.seed = Some(take(&mut i).parse().expect("--seed: integer")),
             "--n-envs" => out.n_envs = Some(take(&mut i).parse().expect("--n-envs: integer")),
+            "--deadline-ms" => {
+                out.deadline_ms = Some(take(&mut i).parse().expect("--deadline-ms: integer"))
+            }
             "--from-seq" => out.from_seq = take(&mut i).parse().expect("--from-seq: integer"),
             "--no-follow" => out.follow = false,
+            "--retries" => out.retries = take(&mut i).parse().expect("--retries: integer"),
+            "--backoff-ms" => out.backoff_ms = take(&mut i).parse().expect("--backoff-ms: integer"),
+            "--timeout-ms" => out.timeout_ms = take(&mut i).parse().expect("--timeout-ms: integer"),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -140,6 +178,85 @@ fn parse_args() -> ClientArgs {
         exit(2);
     });
     out
+}
+
+/// Seeded exponential backoff with jitter: attempt `k` sleeps a
+/// deterministic duration in `[base·2ᵏ/2, base·2ᵏ]`. Deterministic for a
+/// given seed so chaos runs are reproducible.
+struct Backoff {
+    base_ms: u64,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    fn new(base_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            attempt: 0,
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// splitmix64 step — the same tiny deterministic mixer the server's
+    /// fault injector uses, so no RNG dependency is needed here.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let ceiling = self
+            .base_ms
+            .saturating_mul(1u64 << self.attempt.min(10) as u64);
+        self.attempt = self.attempt.saturating_add(1);
+        let floor = ceiling / 2;
+        let jitter = self.next_u64() % (ceiling - floor + 1);
+        Duration::from_millis(floor + jitter)
+    }
+
+    /// Back to the base delay once traffic flows again.
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Connects to the daemon, retrying with backoff on refusal. Exits the
+/// process when the retry budget is spent. Decrements `retries_left` per
+/// failed attempt so connect failures and stream drops share one budget.
+fn connect_with_retry(
+    addr: &str,
+    retries_left: &mut u32,
+    backoff: &mut Backoff,
+    timeout_ms: u64,
+) -> TcpStream {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(conn) => {
+                if timeout_ms > 0 {
+                    let _ = conn.set_read_timeout(Some(Duration::from_millis(timeout_ms)));
+                }
+                let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+                return conn;
+            }
+            Err(e) => {
+                if *retries_left == 0 {
+                    eprintln!("connect to {addr}: {e} (retries exhausted)");
+                    exit(1);
+                }
+                *retries_left -= 1;
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "connect to {addr} failed ({e}); retrying in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+        }
+    }
 }
 
 /// Prints one event in a stable, grep-friendly line format. Returns
@@ -181,9 +298,33 @@ fn print_event(event: &Event) -> bool {
             );
             return false;
         }
+        Event::Degraded {
+            job,
+            seq,
+            reason,
+            outcome,
+        } => {
+            println!(
+                "degraded job={job} seq={seq} reason='{reason}' best={} epochs={} evals={} \
+                 wall_ms={:.1} digest={:#018x}",
+                outcome
+                    .best_cost()
+                    .map_or("-".to_string(), |c| format!("{c:.6e}")),
+                outcome.epochs,
+                outcome.evaluations,
+                outcome.wall_time().as_secs_f64() * 1e3,
+                outcome.digest(),
+            );
+            return false;
+        }
         Event::Failed { job, seq, error } => {
             println!("failed job={job} seq={seq} error={error}");
             return false;
+        }
+        Event::Rejected { retry_after_ms } => {
+            // Handled by the resubmit loop in main; printed here for the
+            // event log.
+            println!("rejected retry_after_ms={retry_after_ms}");
         }
         Event::Cancelled { job, seq } => {
             println!("cancelled job={job} seq={seq}");
@@ -223,8 +364,9 @@ fn print_event(event: &Event) -> bool {
 
 fn main() {
     let args = parse_args();
-    let mut conn =
-        TcpStream::connect(&args.addr).unwrap_or_else(|e| panic!("connect to {}: {e}", args.addr));
+    let mut backoff = Backoff::new(args.backoff_ms, args.seed.unwrap_or(0xC0FF_EE00));
+    let mut retries_left = args.retries;
+    let mut conn = connect_with_retry(&args.addr, &mut retries_left, &mut backoff, args.timeout_ms);
 
     let (request, follow) = match &args.action {
         Action::Submit(model) => {
@@ -240,6 +382,9 @@ fn main() {
             }
             if let Some(n) = args.n_envs {
                 spec.n_envs = n;
+            }
+            if let Some(d) = args.deadline_ms {
+                spec.deadline_ms = Some(d);
             }
             (Request::Submit { spec }, args.follow)
         }
@@ -275,16 +420,84 @@ fn main() {
         // Fire-and-forget cancel: nothing to read back.
         return;
     }
+
+    // The job we're following (known up front for attach/cancel/resume,
+    // learned from `Submitted` for submits) and the last job-scoped seq
+    // we printed — the re-attach point after a dropped stream.
+    let mut job: Option<u64> = match &args.action {
+        Action::Attach(id) | Action::Cancel(id) | Action::Resume(id) => Some(*id),
+        _ => None,
+    };
+    let mut last_seq: Option<u64> = args.from_seq.checked_sub(1);
+
     loop {
-        let event: Event = match read_frame(&mut conn) {
-            Ok(Some(event)) => event,
-            Ok(None) => break,
-            Err(e) => panic!("protocol error: {e}"),
-        };
-        // Streaming actions follow until the job's terminal event;
-        // one-shot queries stop after their single reply.
-        if !print_event(&event) || !follow {
-            break;
+        match read_frame::<_, Event>(&mut conn) {
+            Ok(Some(Event::Rejected { retry_after_ms })) => {
+                print_event(&Event::Rejected { retry_after_ms });
+                if retries_left == 0 {
+                    eprintln!("submit rejected and retries exhausted");
+                    exit(3);
+                }
+                retries_left -= 1;
+                let delay = backoff
+                    .next_delay()
+                    .max(Duration::from_millis(retry_after_ms));
+                eprintln!("resubmitting in {}ms", delay.as_millis());
+                std::thread::sleep(delay);
+                write_frame(&mut conn, &request).expect("resend request");
+            }
+            Ok(Some(event)) => {
+                if let Some((_, seq)) = event.job_seq() {
+                    // A replayed duplicate after re-attach; drop it so the
+                    // printed log stays gapless *and* duplicate-free.
+                    if last_seq.is_some_and(|ls| seq <= ls) {
+                        continue;
+                    }
+                    last_seq = Some(seq);
+                    backoff.reset();
+                }
+                if let Event::Submitted { job: id } = &event {
+                    job = Some(*id);
+                }
+                if !print_event(&event) || !follow {
+                    return;
+                }
+            }
+            // EOF or read error (including `--timeout-ms` of silence): if
+            // we're mid-follow on a known job, reconnect and re-attach
+            // from the next unseen seq; the server replays the gap.
+            outcome @ (Ok(None) | Err(_)) => {
+                let (Some(id), true) = (job, follow) else {
+                    match outcome {
+                        Ok(None) => return,
+                        Err(e) => {
+                            eprintln!("protocol error: {e}");
+                            exit(1);
+                        }
+                        Ok(Some(_)) => unreachable!(),
+                    }
+                };
+                if retries_left == 0 {
+                    eprintln!("stream lost and retries exhausted");
+                    exit(1);
+                }
+                retries_left -= 1;
+                let from_seq = last_seq.map_or(0, |s| s + 1);
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "stream lost; re-attaching job {id} from seq {from_seq} in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                conn = connect_with_retry(
+                    &args.addr,
+                    &mut retries_left,
+                    &mut backoff,
+                    args.timeout_ms,
+                );
+                write_frame(&mut conn, &Request::Attach { job: id, from_seq })
+                    .expect("send re-attach");
+            }
         }
     }
 }

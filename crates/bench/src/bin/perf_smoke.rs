@@ -18,11 +18,11 @@
 //! The checked-in baseline was seeded from the development container; the
 //! first run on a new runner class should refresh it (see README).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use confuciux::{
     two_stage_search, ConstraintKind, CostOracle, Deployment, EvalEngine, EvalQuery, HwProblem,
-    Objective, PlatformClass, VecEnv, VecHwEnv,
+    JobSpec, Objective, PlatformClass, TwoStageRunner, VecEnv, VecHwEnv,
 };
 use confuciux_bench::{standard_spec, Args};
 use maestro::{BatchQueries, CostModel, CostReport, Dataflow, DesignPoint, LayerInvariants};
@@ -71,6 +71,13 @@ const RL_MIN_SPEEDUP: f64 = 0.75;
 /// that erodes the kernel's memoization. Hardware-local ratio, so it
 /// gates on every machine class.
 const KERNEL_MIN_SPEEDUP: f64 = 2.0;
+/// Ceiling on the deadline-watchdog overhead: the daemon checks the job
+/// deadline at every step boundary and must be able to materialize a
+/// best-so-far outcome, and that bookkeeping has to stay in the noise.
+/// Absolute floor so sub-millisecond jitter on a ~100ms run can't fail
+/// the gate; the relative term covers slower runner classes.
+const DEGRADED_OVERHEAD_MAX_MS: f64 = 5.0;
+const DEGRADED_OVERHEAD_MAX_FRACTION: f64 = 0.10;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchCi {
@@ -112,8 +119,49 @@ struct BenchCi {
     rl_vec_speedup: f64,
     /// Replicas used by the vectorized rollout configuration.
     rl_n_envs: usize,
+    /// Extra wall time (ms) of the daemon-style stepping loop — deadline
+    /// watchdog checked at every step boundary plus one best-so-far
+    /// outcome materialization — over a plain stepping loop of the same
+    /// search. Gated near zero: graceful degradation must cost nothing
+    /// when it doesn't fire.
+    degraded_outcome_overhead_ms: f64,
     /// Worker threads the parallel engine used.
     threads: usize,
+}
+
+/// Best-of-3 extra wall time of running the two-stage search the way the
+/// daemon's worker does — a never-expiring deadline checked before every
+/// step, then a `partial_result()` materialization — over a plain
+/// `while runner.step() {}` loop on an identical fresh problem. Paired
+/// within each repetition so runner-frequency drift hits both sides.
+fn degraded_outcome_overhead_ms(spec: &JobSpec) -> f64 {
+    let cfg = spec.two_stage_config();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let problem = spec.clone().build().expect("valid job spec");
+        let mut runner = TwoStageRunner::new(&problem, &cfg, spec.seed);
+        let start = Instant::now();
+        while runner.step() {}
+        let plain = start.elapsed();
+
+        let problem = spec.clone().build().expect("valid job spec");
+        let mut runner = TwoStageRunner::new(&problem, &cfg, spec.seed);
+        let deadline = Duration::from_secs(86_400);
+        let started = Instant::now();
+        loop {
+            if started.elapsed() >= deadline {
+                break;
+            }
+            if !runner.step() {
+                break;
+            }
+        }
+        let _ = runner.partial_result();
+        let watched = started.elapsed();
+
+        best = best.min(watched.saturating_sub(plain).as_secs_f64() * 1e3);
+    }
+    best.max(0.0)
 }
 
 /// Best-of-3 throughput (env steps/sec) of random-free deterministic
@@ -235,6 +283,9 @@ fn main() {
     let rl_env_steps_per_sec_vec = rl_rollout_steps_per_sec(RL_VEC_ENVS, threads);
     let rl_vec_speedup = rl_env_steps_per_sec_vec / rl_env_steps_per_sec_serial;
 
+    // --- Deadline-watchdog overhead: daemon loop vs. plain loop. ---
+    let degraded_overhead = degraded_outcome_overhead_ms(&spec);
+
     let report = BenchCi {
         two_stage_wall_ms,
         two_stage_queries: stats.total(),
@@ -254,6 +305,7 @@ fn main() {
         rl_env_steps_per_sec_vec,
         rl_vec_speedup,
         rl_n_envs: RL_VEC_ENVS,
+        degraded_outcome_overhead_ms: degraded_overhead,
         threads,
     };
     let artifact = args.out.join("BENCH_ci.json");
@@ -362,6 +414,17 @@ fn main() {
             report.kernel_batch_speedup,
             report.kernel_evals_per_sec_scalar,
             report.kernel_evals_per_sec_batch
+        ));
+    }
+    // The watchdog overhead compares two loops run back to back on this
+    // machine, so it too gates everywhere.
+    let overhead_ceiling =
+        DEGRADED_OVERHEAD_MAX_MS.max(report.two_stage_wall_ms * DEGRADED_OVERHEAD_MAX_FRACTION);
+    if report.degraded_outcome_overhead_ms > overhead_ceiling {
+        failures.push(format!(
+            "deadline-watchdog overhead {:.2}ms exceeds the near-zero ceiling {:.2}ms \
+             (two-stage wall {:.0}ms)",
+            report.degraded_outcome_overhead_ms, overhead_ceiling, report.two_stage_wall_ms
         ));
     }
     // The rollout floor is machine-class independent (both sides of the

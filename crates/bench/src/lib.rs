@@ -148,6 +148,7 @@ pub fn standard_spec(
         algo: cfg.algorithm,
         n_envs: cfg.n_envs,
         seed: 42,
+        deadline_ms: None,
     }
 }
 

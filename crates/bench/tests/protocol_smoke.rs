@@ -16,6 +16,7 @@ fn start_server() -> (thread::JoinHandle<()>, SocketAddr) {
         workers: 2,
         sidecar_dir: None,
         flush_secs: 3600,
+        ..ServerConfig::default()
     }));
     let (addr_tx, addr_rx) = mpsc::channel();
     let handle = thread::spawn(move || {

@@ -78,6 +78,12 @@ pub struct JobSpec {
     pub n_envs: usize,
     /// RNG seed; together with `n_envs` it fully determines the result.
     pub seed: u64,
+    /// Wall-clock deadline in milliseconds, measured from the moment the
+    /// job starts running. `None` means unbounded. When the deadline
+    /// expires the runner is stopped at its next step boundary and the
+    /// best-so-far [`SearchOutcome`](crate::SearchOutcome) is returned
+    /// marked degraded — a partial answer, not an error.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -101,7 +107,13 @@ impl JobSpec {
             algo: cfg.algorithm,
             n_envs: cfg.n_envs,
             seed: 42,
+            deadline_ms: None,
         }
+    }
+
+    /// Deadline as a [`Duration`](std::time::Duration), if bounded.
+    pub fn deadline(&self) -> Option<std::time::Duration> {
+        self.deadline_ms.map(std::time::Duration::from_millis)
     }
 
     /// Validates the spec without building anything.
@@ -115,6 +127,11 @@ impl JobSpec {
         if self.n_envs == 0 {
             return Err(SearchError::InvalidSpec(
                 "n_envs must be at least 1".to_string(),
+            ));
+        }
+        if self.deadline_ms == Some(0) {
+            return Err(SearchError::InvalidSpec(
+                "deadline_ms must be at least 1 when set".to_string(),
             ));
         }
         Ok(())

@@ -41,6 +41,13 @@ pub struct SearchOutcome {
     pub eval_stats: EvalStats,
     /// Wall-clock time in nanoseconds.
     pub wall_nanos: u64,
+    /// `Some(reason)` when the search was stopped early (deadline expired,
+    /// job cancelled) and this is the best-so-far answer rather than the
+    /// full-budget result. A degraded outcome is a *partial answer, not an
+    /// error*: `best` is still the true best found under the budget
+    /// actually spent. Excluded from [`Self::digest`] — a degraded run
+    /// legitimately stops at a different point than an uninterrupted one.
+    pub degraded: Option<String>,
 }
 
 impl SearchOutcome {
@@ -57,6 +64,18 @@ impl SearchOutcome {
     /// Cache hit rate of the run, in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
         self.eval_stats.hit_rate()
+    }
+
+    /// True when the run stopped early and carries a partial answer.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Marks the outcome as stopped-early with `reason`; the summary data
+    /// itself is untouched.
+    pub fn into_degraded(mut self, reason: impl Into<String>) -> Self {
+        self.degraded = Some(reason.into());
+        self
     }
 
     /// Digest over every *seed-determined* field: best point, best cost,
@@ -107,6 +126,7 @@ impl RlSearchResult {
             trace_fnv: fnv.finish(),
             eval_stats: self.eval_stats,
             wall_nanos: self.wall_time.as_nanos() as u64,
+            degraded: None,
         }
     }
 }
@@ -125,6 +145,7 @@ impl FineTuneResult {
             trace_fnv: fnv.finish(),
             eval_stats: self.eval_stats,
             wall_nanos: self.wall_time.as_nanos() as u64,
+            degraded: None,
         }
     }
 }
@@ -154,6 +175,7 @@ impl TwoStageResult {
             trace_fnv: fnv.finish(),
             eval_stats: stats,
             wall_nanos: wall.as_nanos() as u64,
+            degraded: None,
         }
     }
 }

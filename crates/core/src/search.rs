@@ -506,6 +506,16 @@ impl RlVecRun {
         self.result.eval_stats = self.stats_so_far();
         self.result.finish()
     }
+
+    /// Best-so-far snapshot of the stage without consuming the run — what
+    /// a deadline-stopped job reports. Same bookkeeping as
+    /// [`RlVecRun::finish`], applied to a clone of the state so far.
+    fn partial_result(&self) -> RlSearchResult {
+        let mut result = self.result.clone();
+        result.wall_time = self.wall_so_far();
+        result.eval_stats = self.stats_so_far();
+        result.finish()
+    }
 }
 
 /// Decodes a coarse LP genome into per-layer assignments (no evaluation).
@@ -864,6 +874,32 @@ impl FineRun {
         }
     }
 
+    /// Best-so-far snapshot without consuming the run. Decodes the
+    /// recorded best like [`FineRun::finish`], but tolerantly: a best
+    /// that fails to re-evaluate is dropped rather than panicking inside
+    /// a degraded-outcome path.
+    fn partial_result(&self) -> FineTuneResult {
+        let outcome = self.cursor.outcome().clone();
+        let best = outcome.best.as_ref().and_then(|(genome, _)| {
+            let layers = decode_fine_layers(genome, &self.eval.dataflows);
+            match self.problem.deployment() {
+                Deployment::LayerPipelined => self.problem.evaluate_lp(&layers),
+                Deployment::LayerSequential => self
+                    .problem
+                    .evaluate_ls(layers[0].dataflow, layers[0].point),
+            }
+        });
+        FineTuneResult {
+            best,
+            trace: outcome.trace,
+            evaluations: outcome.evaluations,
+            wall_time: self.wall_accum + self.segment_start.elapsed(),
+            eval_stats: self
+                .stats_accum
+                .plus(self.problem.eval_stats().since(self.stats_base)),
+        }
+    }
+
     fn finish(self) -> FineTuneResult {
         let wall_time = self.wall_accum + self.segment_start.elapsed();
         let outcome = self.cursor.into_outcome();
@@ -1109,6 +1145,26 @@ impl SearchCheckpoint {
         let text = std::fs::read_to_string(path).map_err(|e| SearchError::io(path, e))?;
         Self::from_json(&text)
     }
+
+    /// Tolerant counterpart of [`SearchCheckpoint::load`] for startup
+    /// paths that must not die on a torn checkpoint: a parseable file is
+    /// returned as usual, while a corrupt one is quarantined by renaming
+    /// it to `<name>.corrupt` and reported as `Ok(None)` — the caller
+    /// starts cold with a warning instead of refusing to start. Genuine
+    /// I/O failures (permissions, not-found) still `Err`.
+    pub fn load_salvaging(path: &std::path::Path) -> Result<Option<Self>, SearchError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SearchError::io(path, e))?;
+        match Self::from_json(&text) {
+            Ok(checkpoint) => Ok(Some(checkpoint)),
+            Err(_) => {
+                let mut quarantined = path.as_os_str().to_owned();
+                quarantined.push(".corrupt");
+                std::fs::rename(path, std::path::PathBuf::from(quarantined))
+                    .map_err(|e| SearchError::io(path, e))?;
+                Ok(None)
+            }
+        }
+    }
 }
 
 enum RunnerStage {
@@ -1334,6 +1390,25 @@ impl TwoStageRunner {
         }
     }
 
+    /// The best-so-far result across whatever stages have run — a valid
+    /// [`TwoStageResult`] even mid-flight. This is the degraded-outcome
+    /// path: a deadline-stopped or cancelled job reduces this to a
+    /// [`SearchOutcome`](crate::SearchOutcome) marked degraded instead of
+    /// erroring. On a finished runner it is exactly the final result.
+    pub fn partial_result(&self) -> TwoStageResult {
+        match self.stage.as_ref().expect("runner stage present") {
+            RunnerStage::Global(run) => TwoStageResult {
+                global: run.partial_result(),
+                fine: None,
+            },
+            RunnerStage::Fine { global, run } => TwoStageResult {
+                global: global.clone(),
+                fine: Some(run.partial_result()),
+            },
+            RunnerStage::Done(result) => result.clone(),
+        }
+    }
+
     /// The finished result, if [`TwoStageRunner::is_done`].
     pub fn result(&self) -> Option<&TwoStageResult> {
         match self.stage.as_ref().expect("runner stage present") {
@@ -1546,6 +1621,80 @@ mod tests {
         let mut checkpoint = runner.checkpoint().unwrap();
         checkpoint.version += 1;
         assert!(TwoStageRunner::resume(&problem, &checkpoint).is_err());
+    }
+
+    #[test]
+    fn load_salvaging_quarantines_garbage_and_loads_valid() {
+        let dir = std::env::temp_dir().join(format!(
+            "confx-ckpt-salvage-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A corrupt checkpoint is quarantined, not a startup error.
+        let path = dir.join("search.ckpt.json");
+        std::fs::write(&path, "{\"version\": 1, \"glo").unwrap();
+        let loaded = SearchCheckpoint::load_salvaging(&path).expect("corruption is not an error");
+        assert!(loaded.is_none());
+        assert!(!path.exists(), "corrupt file must be moved aside");
+        let quarantined = dir.join("search.ckpt.json.corrupt");
+        assert!(quarantined.exists(), "corrupt file must be quarantined");
+
+        // A valid checkpoint still loads bit-exactly through the same API.
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &small_config(), 19);
+        for _ in 0..3 {
+            assert!(runner.step());
+        }
+        let checkpoint = runner.checkpoint().unwrap();
+        checkpoint.save(&path).unwrap();
+        let loaded = SearchCheckpoint::load_salvaging(&path)
+            .expect("valid file loads")
+            .expect("valid file is not quarantined");
+        assert_eq!(loaded.to_json(), checkpoint.to_json());
+        assert!(path.exists());
+
+        // A missing file is still a real error, distinct from corruption.
+        assert!(SearchCheckpoint::load_salvaging(&dir.join("absent.json")).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_result_is_valid_at_every_stage() {
+        let cfg = small_config();
+        let problem = tiny_problem();
+        let mut runner = TwoStageRunner::new(&problem, &cfg, 19);
+
+        // Mid-global: a degraded answer exists from the very first step.
+        for _ in 0..5 {
+            assert!(runner.step());
+        }
+        let partial = runner.partial_result();
+        assert_eq!(partial.global.trace.len(), 5);
+        assert!(partial.fine.is_none());
+        let outcome = partial.outcome().into_degraded("deadline 1ms expired");
+        assert!(outcome.is_degraded());
+        assert_eq!(outcome.epochs, 5);
+
+        // Mid-fine: the frozen global result rides along unchanged.
+        while runner.fine_evaluations_done() == 0 {
+            assert!(runner.step(), "search ended before the fine stage");
+        }
+        let partial = runner.partial_result();
+        assert_eq!(partial.global.trace.len(), cfg.global_epochs);
+        let fine = partial.fine.as_ref().expect("fine stage has started");
+        assert!(fine.evaluations > 0);
+        // The fine stage never worsens the feasible seed, even mid-flight.
+        if let (Some(g), Some(f)) = (partial.global.best_cost(), partial.final_cost()) {
+            assert!(f <= g + 1e-9, "partial fine {f} worse than global {g}");
+        }
+
+        // Done: partial and final results coincide.
+        while runner.step() {}
+        let done = runner.result().unwrap();
+        assert_results_equal(&runner.partial_result(), done);
     }
 
     #[test]

@@ -264,16 +264,60 @@ impl SerializedCache {
     /// Parses JSON-lines text produced by [`Self::to_json_lines`]. Blank
     /// lines are ignored; any malformed line is an error.
     pub fn from_json_lines(text: &str) -> Result<Self, serde_json::Error> {
+        let (cache, dropped) = Self::from_json_lines_prefix(text);
+        match dropped {
+            None => Ok(cache),
+            Some((_, err)) => Err(err),
+        }
+    }
+
+    /// Tolerant variant of [`Self::from_json_lines`]: parses the longest
+    /// valid prefix and stops at the first malformed line instead of
+    /// erroring. A torn or partial write only ever damages the tail of an
+    /// append-ordered JSON-lines file, so everything before the first bad
+    /// line is a complete, trustworthy cache image. Returns the salvaged
+    /// prefix plus `Some((lines_dropped, error))` when anything was cut,
+    /// where `lines_dropped` counts the non-blank lines discarded.
+    pub fn from_json_lines_prefix(text: &str) -> (Self, Option<(usize, serde_json::Error)>) {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        let mut lines = text.lines();
+        for line in lines.by_ref() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            entries.push(serde_json::from_str::<(EvalQuery, CostReport)>(line)?);
+            match serde_json::from_str::<(EvalQuery, CostReport)>(line) {
+                Ok(entry) => entries.push(entry),
+                Err(err) => {
+                    let dropped = 1 + lines.filter(|l| !l.trim().is_empty()).count();
+                    return (SerializedCache { entries }, Some((dropped, err)));
+                }
+            }
         }
-        Ok(SerializedCache { entries })
+        (SerializedCache { entries }, None)
     }
+}
+
+/// What a tolerant sidecar load recovered; see
+/// [`EvalEngine::load_cache_file_salvaging`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLoad {
+    /// The file parsed end to end; all entries are now in the cache.
+    Clean {
+        /// Entries loaded into the cache.
+        entries: usize,
+    },
+    /// The file was corrupt: the valid prefix was loaded, the original
+    /// file was renamed to `<name>.corrupt`, and the cache continues from
+    /// whatever survived.
+    Salvaged {
+        /// Entries recovered from the valid prefix.
+        entries: usize,
+        /// Non-blank lines discarded from the first malformed line on.
+        lines_dropped: usize,
+        /// Where the corrupt original was quarantined.
+        quarantined: std::path::PathBuf,
+    },
 }
 
 /// One cache stripe: the memo map plus its keys in insertion order. The
@@ -490,6 +534,34 @@ impl EvalEngine {
         Ok(n)
     }
 
+    /// Tolerant counterpart of [`EvalEngine::load_cache_file`] for daemon
+    /// startup: a corrupt sidecar must never prevent serving. The valid
+    /// JSON-lines prefix is loaded into the cache, the damaged file is
+    /// quarantined by renaming it to `<name>.corrupt` (preserved for
+    /// inspection, and out of the way so the next flush writes a clean
+    /// file), and the load reports what happened instead of erroring.
+    /// Only genuine I/O failures (permissions, not-found) still `Err`.
+    pub fn load_cache_file_salvaging(&self, path: &std::path::Path) -> std::io::Result<CacheLoad> {
+        let text = std::fs::read_to_string(path)?;
+        let (cache, damage) = SerializedCache::from_json_lines_prefix(&text);
+        let entries = cache.len();
+        self.load_serialized(&cache);
+        match damage {
+            None => Ok(CacheLoad::Clean { entries }),
+            Some((lines_dropped, _err)) => {
+                let mut quarantined = path.as_os_str().to_owned();
+                quarantined.push(".corrupt");
+                let quarantined = std::path::PathBuf::from(quarantined);
+                std::fs::rename(path, &quarantined)?;
+                Ok(CacheLoad::Salvaged {
+                    entries,
+                    lines_dropped,
+                    quarantined,
+                })
+            }
+        }
+    }
+
     fn shard_of(&self, query: &EvalQuery) -> usize {
         let mut h = FnvHasher::default();
         query.hash(&mut h);
@@ -686,16 +758,16 @@ impl CostOracle for EvalEngine {
     }
 }
 
-/// Locks a cache shard, recovering from poisoning. A shard only ever holds
-/// pure-function memo entries and its order queue, both written atomically
-/// under the lock, so the data is valid even if some thread panicked while
-/// holding the guard — discarding the whole cache (or worse, panicking
-/// every later evaluation, as `.expect("cache shard lock")` used to) would
-/// punish the surviving searches for a bug that already unwound.
-fn lock_recovering(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
-    shard
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Locks a mutex, recovering from poisoning. Poisoning only records that
+/// *some* thread panicked while holding the guard — for state that is
+/// written atomically under the lock (cache shards, job registries, event
+/// rings) the data is still valid, and propagating the poison would punish
+/// every surviving thread for a bug that already unwound. Originally the
+/// engine's cache-shard lock (which used to `.expect("cache shard lock")`
+/// and so panicked every later evaluation); now the shared locking idiom
+/// for the whole service stack.
+pub fn lock_recovering<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Resolves the worker count: `CONFX_THREADS` if set and positive, else the

@@ -52,7 +52,8 @@ mod tech;
 pub use dataflow::Dataflow;
 pub use design::DesignPoint;
 pub use engine::{
-    threads_from_env, CostOracle, EvalEngine, EvalQuery, EvalStats, SerializedCache, THREADS_ENV,
+    lock_recovering, threads_from_env, CacheLoad, CostOracle, EvalEngine, EvalQuery, EvalStats,
+    SerializedCache, THREADS_ENV,
 };
 pub use error::MaestroError;
 pub use estimate::CostModel;

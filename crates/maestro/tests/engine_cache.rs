@@ -116,6 +116,80 @@ proptest! {
         }
         prop_assert_eq!(warm.stats().misses, 0);
     }
+
+    /// Salvage is exact under truncation: cutting a cache image at *any*
+    /// byte yields precisely the complete-line prefix — serialized output
+    /// of the salvaged cache is a string prefix of the original image —
+    /// and never panics. An uncut image salvages clean.
+    #[test]
+    fn salvage_recovers_exact_prefix_of_truncated_image(
+        queries in proptest::collection::vec(arb_query(), 1..32),
+        cut_permille in 0u32..=1000,
+    ) {
+        let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), 1);
+        engine.evaluate_batch(&queries);
+        let text = engine.to_serialized().to_json_lines();
+        let cut = text.len() * cut_permille as usize / 1000;
+        let cut = (0..=cut.min(text.len()))
+            .rev()
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap();
+        let truncated = &text[..cut];
+
+        let (salvaged, dropped) = SerializedCache::from_json_lines_prefix(truncated);
+        prop_assert!(
+            text.starts_with(&salvaged.to_json_lines()),
+            "salvaged cache must be an exact prefix of the original image"
+        );
+        if cut == text.len() {
+            prop_assert!(dropped.is_none(), "an uncut image salvages clean");
+            prop_assert_eq!(salvaged.len(), engine.cache_len());
+        }
+        if let Some((lines_dropped, _)) = dropped {
+            prop_assert!(lines_dropped >= 1);
+            prop_assert!(salvaged.len() < engine.cache_len());
+        }
+    }
+
+    /// Salvage under arbitrary garbage suffixes: every valid line before
+    /// the garbage survives, the garbage (and everything after it) is
+    /// dropped and counted, and the strict loader refuses the whole file.
+    #[test]
+    fn salvage_drops_garbage_suffix_and_counts_it(
+        queries in proptest::collection::vec(arb_query(), 1..32),
+        garbage in proptest::collection::vec(0u32..256, 1..128),
+        trailing_valid_lines in 0usize..3,
+    ) {
+        let engine = EvalEngine::with_threads(CostModel::default(), layer_table(), 1);
+        engine.evaluate_batch(&queries);
+        let valid = engine.to_serialized().to_json_lines();
+
+        // A line starting with an unescaped control byte can never be a
+        // valid JSON entry, so the corruption point is unambiguous.
+        let mut corrupted = valid.clone();
+        corrupted.push('\u{1}');
+        let garbage: Vec<u8> = garbage.into_iter().map(|b| b as u8).collect();
+        corrupted.push_str(&String::from_utf8_lossy(&garbage).replace('\n', " "));
+        corrupted.push('\n');
+        // Valid-looking lines *after* the corruption point must not be
+        // resurrected: salvage keeps a prefix, not a filtered subset.
+        let mut appended = 0;
+        for line in valid.lines().take(trailing_valid_lines) {
+            corrupted.push_str(line);
+            corrupted.push('\n');
+            appended += 1;
+        }
+
+        prop_assert!(
+            SerializedCache::from_json_lines(&corrupted).is_err(),
+            "the strict loader must reject a corrupt image"
+        );
+        let (salvaged, dropped) = SerializedCache::from_json_lines_prefix(&corrupted);
+        prop_assert_eq!(salvaged.to_json_lines(), valid);
+        prop_assert_eq!(salvaged.len(), engine.cache_len());
+        let (lines_dropped, _) = dropped.expect("the garbage line must be counted");
+        prop_assert_eq!(lines_dropped, 1 + appended);
+    }
 }
 
 /// Deterministic spot-check that the counters are *exact*, not just

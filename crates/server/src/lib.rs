@@ -12,10 +12,12 @@
 //! See [`protocol`] for the wire format, [`server`] for the daemon, and
 //! the repository README for a transcript of a typical session.
 
+pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use faults::{FaultInjector, FaultPlan, FAULTS_ENV};
 pub use protocol::{
     poll_frame, read_frame, write_frame, Event, FrameError, JobSummary, Polled, Request,
     MAX_FRAME_LEN,

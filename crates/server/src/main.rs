@@ -3,12 +3,18 @@
 //! ```text
 //! confuciux-server [--listen ADDR] [--stdio] [--workers N]
 //!                  [--sidecar-dir DIR] [--flush-secs N]
+//!                  [--max-active N] [--faults PLAN]
 //! ```
 //!
 //! Defaults: `--listen 127.0.0.1:7464`, 2 workers, no sidecar
 //! persistence. SIGTERM/SIGINT trigger the same graceful shutdown as a
 //! `Shutdown` request: running jobs stop at their next step boundary and
 //! every model cache is flushed to its sidecar.
+//!
+//! `--faults` (or the `CONFX_FAULTS` environment variable) arms a
+//! deterministic chaos plan for testing, e.g.
+//! `drop_conn@frame=7;panic_worker@step=40;corrupt_sidecar;seed=7`; see
+//! [`confuciux_server::faults`]. The flag wins over the variable.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -17,7 +23,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use confuciux_server::{Server, ServerConfig};
+use confuciux_server::{FaultPlan, Server, ServerConfig};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7464";
 
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         stdio: false,
         config: ServerConfig::default(),
     };
+    args.config.faults = FaultPlan::from_env().map_err(|e| format!("CONFX_FAULTS: {e}"))?;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -76,10 +83,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--flush-secs: {e}"))?
             }
+            "--max-active" => {
+                args.config.max_active = value("--max-active")?
+                    .parse()
+                    .map_err(|e| format!("--max-active: {e}"))?
+            }
+            "--faults" => {
+                args.config.faults =
+                    FaultPlan::parse(&value("--faults")?).map_err(|e| format!("--faults: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: confuciux-server [--listen ADDR] [--stdio] [--workers N] \
-                     [--sidecar-dir DIR] [--flush-secs N]"
+                     [--sidecar-dir DIR] [--flush-secs N] [--max-active N] [--faults PLAN]"
                 );
                 exit(0);
             }

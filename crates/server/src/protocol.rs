@@ -93,7 +93,8 @@ pub enum Request {
 pub struct JobSummary {
     pub job: u64,
     pub model: String,
-    /// `"queued" | "running" | "done" | "failed" | "cancelled"`.
+    /// `"queued" | "running" | "done" | "degraded" | "failed" |
+    /// "cancelled"`.
     pub state: String,
     /// Number of events emitted for this job so far.
     pub events: u64,
@@ -130,8 +131,21 @@ pub enum Event {
         seq: u64,
         outcome: SearchOutcome,
     },
+    /// The job was stopped early (deadline expired, shutdown) but still
+    /// produced a usable answer: `outcome` is the best-so-far
+    /// [`SearchOutcome`] with its `degraded` field set to `reason`. A
+    /// partial answer, not an error — terminal like [`Event::Done`].
+    Degraded {
+        job: u64,
+        seq: u64,
+        reason: String,
+        outcome: SearchOutcome,
+    },
     /// The job stopped with an error.
     Failed { job: u64, seq: u64, error: String },
+    /// Admission control refused the submit: the worker queue is at
+    /// capacity. No job was created; retry after `retry_after_ms`.
+    Rejected { retry_after_ms: u64 },
     /// The job honoured a [`Request::Cancel`] (a checkpoint for
     /// [`Request::Resume`] is kept in memory when stage 1 supports it).
     Cancelled { job: u64, seq: u64 },
@@ -165,6 +179,7 @@ impl Event {
             Event::Started { job, seq }
             | Event::Progress { job, seq, .. }
             | Event::Done { job, seq, .. }
+            | Event::Degraded { job, seq, .. }
             | Event::Failed { job, seq, .. }
             | Event::Cancelled { job, seq } => Some((*job, *seq)),
             _ => None,

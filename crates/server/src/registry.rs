@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
 use confuciux::{JobSpec, SearchCheckpoint, SearchOutcome};
-use maestro::EvalEngine;
+use maestro::{lock_recovering, EvalEngine};
 
 use crate::protocol::{Event, JobSummary};
 
@@ -27,6 +27,9 @@ pub enum JobStatus {
     Queued,
     Running,
     Done,
+    /// Stopped early (deadline expired) with a usable best-so-far
+    /// outcome — a terminal success state, not a failure.
+    Degraded,
     Failed,
     Cancelled,
 }
@@ -37,9 +40,16 @@ impl JobStatus {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done => "done",
+            JobStatus::Degraded => "degraded",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
         }
+    }
+
+    /// True for jobs that still hold (or will hold) a worker: queued or
+    /// running. What admission control counts against its bound.
+    pub fn is_active(&self) -> bool {
+        matches!(self, JobStatus::Queued | JobStatus::Running)
     }
 }
 
@@ -99,20 +109,17 @@ impl Registry {
     pub fn insert(&self, spec: JobSpec) -> u64 {
         let id = self.next_job.fetch_add(1, Ordering::Relaxed) + 1;
         let state = Arc::new(Mutex::new(JobState::new(spec)));
-        self.jobs.lock().unwrap().insert(id, state);
-        self.cancels
-            .lock()
-            .unwrap()
-            .insert(id, Arc::new(AtomicBool::new(false)));
+        lock_recovering(&self.jobs).insert(id, state);
+        lock_recovering(&self.cancels).insert(id, Arc::new(AtomicBool::new(false)));
         id
     }
 
     pub fn job(&self, id: u64) -> Option<Arc<Mutex<JobState>>> {
-        self.jobs.lock().unwrap().get(&id).cloned()
+        lock_recovering(&self.jobs).get(&id).cloned()
     }
 
     pub fn cancel_flag(&self, id: u64) -> Option<Arc<AtomicBool>> {
-        self.cancels.lock().unwrap().get(&id).cloned()
+        lock_recovering(&self.cancels).get(&id).cloned()
     }
 
     /// Requests cancellation; `false` for unknown jobs.
@@ -130,7 +137,7 @@ impl Registry {
     /// and fans it out to live subscribers — all under the job lock.
     pub fn publish(&self, id: u64, make: impl FnOnce(u64) -> Event) {
         let Some(job) = self.job(id) else { return };
-        let mut state = job.lock().unwrap();
+        let mut state = lock_recovering(&job);
         let seq = state.next_seq;
         state.next_seq += 1;
         let event = make(seq);
@@ -147,7 +154,7 @@ impl Registry {
     pub fn subscribe(&self, id: u64, tx: mpsc::Sender<Event>) -> bool {
         match self.job(id) {
             Some(job) => {
-                job.lock().unwrap().subscribers.push(tx);
+                lock_recovering(&job).subscribers.push(tx);
                 true
             }
             None => false,
@@ -162,7 +169,7 @@ impl Registry {
     /// replayed, or `None` for an unknown job.
     pub fn attach(&self, id: u64, from_seq: u64, tx: mpsc::Sender<Event>) -> Option<u64> {
         let job = self.job(id)?;
-        let mut state = job.lock().unwrap();
+        let mut state = lock_recovering(&job);
         let replay: Vec<Event> = state
             .ring
             .iter()
@@ -191,30 +198,26 @@ impl Registry {
         f: impl FnOnce(&mut MutexGuard<'_, JobState>) -> T,
     ) -> Option<T> {
         let job = self.job(id)?;
-        let mut state = job.lock().unwrap();
+        let mut state = lock_recovering(&job);
         Some(f(&mut state))
     }
 
     /// The shared engine for a model family, if one exists yet.
     pub fn engine_for(&self, model: &str) -> Option<Arc<EvalEngine>> {
-        self.engines.lock().unwrap().get(model).cloned()
+        lock_recovering(&self.engines).get(model).cloned()
     }
 
     /// Registers the engine to share with future jobs of this model
     /// family; the first registration wins.
     pub fn register_engine(&self, model: &str, engine: Arc<EvalEngine>) {
-        self.engines
-            .lock()
-            .unwrap()
+        lock_recovering(&self.engines)
             .entry(model.to_string())
             .or_insert(engine);
     }
 
     /// Snapshot of every model engine, for sidecar flushes.
     pub fn engines_snapshot(&self) -> Vec<(String, Arc<EvalEngine>)> {
-        self.engines
-            .lock()
-            .unwrap()
+        lock_recovering(&self.engines)
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
@@ -222,11 +225,11 @@ impl Registry {
 
     /// One [`JobSummary`] per job, ordered by id.
     pub fn summaries(&self) -> Vec<JobSummary> {
-        let jobs = self.jobs.lock().unwrap();
+        let jobs = lock_recovering(&self.jobs);
         let mut out: Vec<(u64, JobSummary)> = jobs
             .iter()
             .map(|(id, job)| {
-                let state = job.lock().unwrap();
+                let state = lock_recovering(job);
                 (
                     *id,
                     JobSummary {
@@ -242,13 +245,21 @@ impl Registry {
         out.into_iter().map(|(_, s)| s).collect()
     }
 
+    /// Jobs currently queued or running — the admission-control load.
+    pub fn active_jobs(&self) -> usize {
+        lock_recovering(&self.jobs)
+            .values()
+            .filter(|j| lock_recovering(j).status.is_active())
+            .count()
+    }
+
     /// `(total jobs, running jobs, engines, cache entries)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
-        let jobs = self.jobs.lock().unwrap();
+        let jobs = lock_recovering(&self.jobs);
         let total = jobs.len() as u64;
         let running = jobs
             .values()
-            .filter(|j| j.lock().unwrap().status == JobStatus::Running)
+            .filter(|j| lock_recovering(j).status == JobStatus::Running)
             .count() as u64;
         drop(jobs);
         let engines = self.engines_snapshot();

@@ -8,6 +8,21 @@
 //! Shutdown — by request or SIGTERM — cancels running jobs at their next
 //! step boundary, drains the pool, and flushes every model's cache to its
 //! sidecar file so the next daemon starts warm.
+//!
+//! Hardening (see [`crate::faults`] for the chaos harness that tests it):
+//!
+//! * Worker panics are caught per job: the job emits `Failed{diagnostic}`
+//!   and the worker moves on; every registry/server lock uses the
+//!   poison-recovering idiom ([`maestro::lock_recovering`]).
+//! * Per-job deadlines: a job whose `deadline_ms` expires is stopped at
+//!   its next step boundary and reports its best-so-far outcome marked
+//!   degraded — a partial answer, not an error. Cancelled/shutdown jobs
+//!   reuse the same best-so-far path.
+//! * Admission control: submits beyond [`ServerConfig::max_active`]
+//!   queued+running jobs get `Rejected{retry_after_ms}` instead of an
+//!   unbounded queue.
+//! * Corrupt sidecars are salvaged and quarantined at warm-load instead
+//!   of aborting the warm start.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -15,16 +30,23 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use confuciux::{HwProblem, JobSpec, SearchError, TwoStageRunner};
+use confuciux::{HwProblem, JobSpec, SearchCheckpoint, SearchError, SearchOutcome, TwoStageRunner};
+use maestro::{lock_recovering, CacheLoad};
 
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::protocol::{poll_frame, write_frame, Event, FrameError, Polled, Request};
 use crate::registry::{JobStatus, Registry};
 
 /// How long blocking polls (frame reads, queue receives, accept retries)
 /// wait before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Write timeout on daemon TCP streams: a peer that stops draining its
+/// socket stalls only its own writer thread, and only this long, instead
+/// of wedging it forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +59,13 @@ pub struct ServerConfig {
     /// Seconds between periodic sidecar flushes (also flushed once more
     /// on shutdown).
     pub flush_secs: u64,
+    /// Admission bound: submits while this many jobs are already queued
+    /// or running get `Rejected{retry_after_ms}` instead of growing the
+    /// queue without limit.
+    pub max_active: usize,
+    /// Deterministic fault schedule (no-op by default); see
+    /// [`crate::faults`].
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -45,8 +74,16 @@ impl Default for ServerConfig {
             workers: 2,
             sidecar_dir: None,
             flush_secs: 30,
+            max_active: 64,
+            faults: FaultPlan::default(),
         }
     }
+}
+
+/// What became of a submit under admission control.
+enum Submission {
+    Accepted(u64),
+    Rejected { retry_after_ms: u64 },
 }
 
 struct Inner {
@@ -54,27 +91,39 @@ struct Inner {
     config: ServerConfig,
     queue: Mutex<mpsc::Sender<u64>>,
     shutdown: Arc<AtomicBool>,
+    faults: Arc<FaultInjector>,
 }
 
 impl Inner {
-    /// Validates and enqueues a job, returning its id.
-    fn submit(&self, spec: JobSpec) -> Result<u64, SearchError> {
+    /// Validates a job and, if the active-job bound admits it, enqueues
+    /// it. Over-limit submits are rejected with a retry hint scaled to
+    /// the backlog per worker — no job is created.
+    fn submit(&self, spec: JobSpec) -> Result<Submission, SearchError> {
         spec.validate()?;
+        let active = self.registry.active_jobs();
+        if active >= self.config.max_active {
+            let workers = self.config.workers.max(1) as u64;
+            let backlog = active as u64 + 1;
+            let retry_after_ms = (250 * (backlog + workers - 1) / workers).clamp(100, 10_000);
+            return Ok(Submission::Rejected { retry_after_ms });
+        }
         let id = self.registry.insert(spec);
-        self.queue
-            .lock()
-            .unwrap()
+        lock_recovering(&self.queue)
             .send(id)
             .map_err(|_| SearchError::Unsupported("daemon is shutting down".to_string()))?;
-        Ok(id)
+        Ok(Submission::Accepted(id))
     }
 
-    /// Re-enqueues a cancelled/failed job to continue from its latest
-    /// in-memory checkpoint.
+    /// Re-enqueues a cancelled/failed/degraded job to continue from its
+    /// latest in-memory checkpoint. Resumes bypass admission control: the
+    /// job was already admitted once and still holds its slot in the
+    /// registry.
     fn resume(&self, id: u64) -> Result<(), String> {
         let accepted = self.registry.with_job(id, |state| {
-            let resumable = matches!(state.status, JobStatus::Cancelled | JobStatus::Failed)
-                && state.checkpoint.is_some();
+            let resumable = matches!(
+                state.status,
+                JobStatus::Cancelled | JobStatus::Failed | JobStatus::Degraded
+            ) && state.checkpoint.is_some();
             if resumable {
                 state.status = JobStatus::Queued;
             }
@@ -83,15 +132,13 @@ impl Inner {
         match accepted {
             None => Err(format!("unknown job {id}")),
             Some(false) => Err(format!(
-                "job {id} is not resumable (must be cancelled/failed with a checkpoint)"
+                "job {id} is not resumable (must be cancelled/failed/degraded with a checkpoint)"
             )),
             Some(true) => {
                 if let Some(flag) = self.registry.cancel_flag(id) {
                     flag.store(false, Ordering::Relaxed);
                 }
-                self.queue
-                    .lock()
-                    .unwrap()
+                lock_recovering(&self.queue)
                     .send(id)
                     .map_err(|_| "daemon is shutting down".to_string())
             }
@@ -109,8 +156,11 @@ impl Inner {
     fn flush_sidecars(&self) {
         for (model, engine) in self.registry.engines_snapshot() {
             if let Some(path) = self.sidecar_path(&model) {
-                if let Err(e) = engine.save_cache_file(&path) {
-                    eprintln!("confuciux-server: sidecar flush for {model} failed: {e}");
+                match engine.save_cache_file(&path) {
+                    Ok(()) => self.faults.maybe_corrupt_sidecar(&path),
+                    Err(e) => {
+                        eprintln!("confuciux-server: sidecar flush for {model} failed: {e}")
+                    }
                 }
             }
         }
@@ -130,11 +180,16 @@ pub struct Server {
 impl Server {
     pub fn new(config: ServerConfig) -> Self {
         let (tx, rx) = mpsc::channel::<u64>();
+        let faults = Arc::new(FaultInjector::new(config.faults.clone()));
+        if !faults.plan().is_noop() {
+            eprintln!("confuciux-server: fault plan armed: {}", faults.plan());
+        }
         let inner = Arc::new(Inner {
             registry: Registry::new(),
             config,
             queue: Mutex::new(tx),
             shutdown: Arc::new(AtomicBool::new(false)),
+            faults,
         });
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..inner.config.workers.max(1))
@@ -198,7 +253,7 @@ impl Server {
     /// Serves one session over stdin/stdout (the process-child transport),
     /// then shuts the daemon down when the session ends.
     pub fn serve_stdio(&self) {
-        serve_connection(&self.inner, std::io::stdin(), std::io::stdout());
+        serve_connection(&self.inner, std::io::stdin(), std::io::stdout(), None);
         self.inner.shutdown.store(true, Ordering::Relaxed);
         self.finish();
     }
@@ -207,10 +262,10 @@ impl Server {
     /// flush.
     fn finish(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
-        for worker in self.workers.lock().unwrap().drain(..) {
+        for worker in lock_recovering(&self.workers).drain(..) {
             let _ = worker.join();
         }
-        if let Some(flusher) = self.flusher.lock().unwrap().take() {
+        if let Some(flusher) = lock_recovering(&self.flusher).take() {
             let _ = flusher.join();
         }
         self.inner.flush_sidecars();
@@ -222,7 +277,7 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Arc<Mutex<mpsc::Receiver<u64>>>) {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let next = rx.lock().unwrap().recv_timeout(POLL_INTERVAL);
+        let next = lock_recovering(rx).recv_timeout(POLL_INTERVAL);
         match next {
             Ok(id) => run_job(inner, id),
             Err(mpsc::RecvTimeoutError::Timeout) => {}
@@ -246,7 +301,9 @@ fn flusher_loop(inner: &Arc<Inner>) {
 
 /// Builds the job's problem over the model family's shared engine,
 /// creating (and warm-loading from the sidecar, if present) the engine on
-/// first use.
+/// first use. Sidecar loading is tolerant: a corrupt file is quarantined
+/// to `<name>.corrupt` and its valid prefix salvaged — a torn flush must
+/// never keep the daemon from serving the model.
 fn build_problem(inner: &Inner, spec: &JobSpec) -> Result<HwProblem, SearchError> {
     let model = dnn_models::by_name(&spec.model)
         .ok_or_else(|| SearchError::InvalidSpec(format!("unknown model `{}`", spec.model)))?;
@@ -257,8 +314,19 @@ fn build_problem(inner: &Inner, spec: &JobSpec) -> Result<HwProblem, SearchError
     let problem = spec.build()?;
     if let Some(path) = inner.sidecar_path(&canonical) {
         if path.exists() {
-            match problem.load_cache(&path) {
-                Ok(n) => eprintln!("confuciux-server: warmed {canonical} with {n} sidecar entries"),
+            match problem.engine_handle().load_cache_file_salvaging(&path) {
+                Ok(CacheLoad::Clean { entries }) => {
+                    eprintln!("confuciux-server: warmed {canonical} with {entries} sidecar entries")
+                }
+                Ok(CacheLoad::Salvaged {
+                    entries,
+                    lines_dropped,
+                    quarantined,
+                }) => eprintln!(
+                    "confuciux-server: sidecar for {canonical} was corrupt: salvaged {entries} \
+                     entries, dropped {lines_dropped} lines, quarantined to {}",
+                    quarantined.display()
+                ),
                 Err(e) => eprintln!("confuciux-server: sidecar load for {canonical} failed: {e}"),
             }
         }
@@ -280,14 +348,35 @@ fn fail_job(inner: &Inner, id: u64, error: String) {
     });
 }
 
-/// Runs one job to completion (or cancellation) on the calling worker
-/// thread, publishing progress along the way.
+/// Records a job's terminal status and outcome in the registry.
+fn settle(inner: &Inner, id: u64, status: JobStatus, outcome: &SearchOutcome) {
+    inner.registry.with_job(id, |state| {
+        state.status = status;
+        state.outcome = Some(outcome.clone());
+    });
+}
+
+/// Renders a caught panic payload for a `Failed{diagnostic}` event.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job on the calling worker thread. Panics inside the search —
+/// injected or genuine — are caught here: the job fails with a
+/// diagnostic, the worker survives to take the next job, and the
+/// poison-recovering locks keep the registry usable for everyone else.
 fn run_job(inner: &Arc<Inner>, id: u64) {
     let Some(job) = inner.registry.job(id) else {
         return;
     };
     let (spec, resume_from) = {
-        let mut state = job.lock().unwrap();
+        let mut state = lock_recovering(&job);
         if state.status != JobStatus::Queued {
             return;
         }
@@ -297,8 +386,28 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
     inner
         .registry
         .publish(id, |seq| Event::Started { job: id, seq });
+    let drove = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        drive_job(inner, id, &spec, resume_from)
+    }));
+    if let Err(payload) = drove {
+        fail_job(
+            inner,
+            id,
+            format!("worker panicked: {}", panic_message(payload.as_ref())),
+        );
+    }
+}
 
-    let problem = match build_problem(inner, &spec) {
+/// Steps the job's runner to completion, deadline expiry, or
+/// cancellation, publishing progress along the way. Every early stop goes
+/// through the same best-so-far path ([`TwoStageRunner::partial_result`]):
+/// the difference between a deadline, a cancel, and a shutdown is only
+/// the terminal status and event, never the quality of the answer.
+fn drive_job(inner: &Arc<Inner>, id: u64, spec: &JobSpec, resume_from: Option<SearchCheckpoint>) {
+    let Some(job) = inner.registry.job(id) else {
+        return;
+    };
+    let problem = match build_problem(inner, spec) {
         Ok(p) => p,
         Err(e) => return fail_job(inner, id, e.to_string()),
     };
@@ -314,22 +423,48 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
         .registry
         .cancel_flag(id)
         .expect("every registered job has a cancel flag");
+    // The deadline window restarts on resume: it bounds how long a worker
+    // is held per run, not the job's cumulative lifetime.
+    let deadline = spec.deadline();
+    let started = Instant::now();
+    let mut step: u64 = 0;
 
     loop {
         if cancel.load(Ordering::Relaxed) || inner.shutdown.load(Ordering::Relaxed) {
-            inner
-                .registry
-                .with_job(id, |state| state.status = JobStatus::Cancelled);
+            let reason = if cancel.load(Ordering::Relaxed) {
+                "cancelled"
+            } else {
+                "daemon shutdown"
+            };
+            let outcome = runner.partial_result().outcome().into_degraded(reason);
+            settle(inner, id, JobStatus::Cancelled, &outcome);
             inner
                 .registry
                 .publish(id, |seq| Event::Cancelled { job: id, seq });
             return;
         }
+        if deadline.is_some_and(|limit| started.elapsed() >= limit) {
+            let reason = format!("deadline {}ms expired", spec.deadline_ms.unwrap_or(0));
+            let outcome = runner
+                .partial_result()
+                .outcome()
+                .into_degraded(reason.clone());
+            settle(inner, id, JobStatus::Degraded, &outcome);
+            inner.registry.publish(id, |seq| Event::Degraded {
+                job: id,
+                seq,
+                reason,
+                outcome,
+            });
+            return;
+        }
+        inner.faults.maybe_panic_worker(step);
         let more = runner.step();
+        step += 1;
         // Keep the freshest resume point in memory; stage-1 agents without
         // state saving (and finished runs) simply don't refresh it.
         if let Ok(checkpoint) = runner.checkpoint() {
-            job.lock().unwrap().checkpoint = Some(checkpoint);
+            lock_recovering(&job).checkpoint = Some(checkpoint);
         }
         let stats = problem.eval_stats().since(stats_base);
         inner.registry.publish(id, |seq| Event::Progress {
@@ -349,14 +484,11 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
         .result()
         .expect("step() returned false, so the runner is done")
         .outcome();
-    inner.registry.with_job(id, |state| {
-        state.status = JobStatus::Done;
-        state.outcome = Some(outcome.clone());
-    });
+    settle(inner, id, JobStatus::Done, &outcome);
     inner.registry.publish(id, |seq| Event::Done {
         job: id,
         seq,
-        outcome: outcome.clone(),
+        outcome,
     });
 }
 
@@ -364,36 +496,65 @@ fn handle_tcp_conn(inner: Arc<Inner>, stream: TcpStream) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    // A peer that stops draining its socket must stall only its own
+    // writer thread, and only briefly — not wedge it forever.
+    if stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err() {
+        return;
+    }
     let Ok(writer) = stream.try_clone() else {
         return;
     };
-    serve_connection(&inner, stream, writer);
+    // Hard-close hook for the drop_conn fault: shutting down both
+    // directions makes the drop visible to the client as a real torn
+    // TCP session, not a polite EOF.
+    let kill = stream.try_clone().ok().map(|s| {
+        Box::new(move || {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }) as Box<dyn FnOnce() + Send>
+    });
+    serve_connection(&inner, stream, writer, kill);
 }
 
 /// Speaks the protocol on one connection: a writer thread drains the
 /// event channel (which the registry's publishers also feed) while this
-/// thread reads requests.
+/// thread reads requests. The writer thread is also where write-side
+/// faults act: `delay_write` before each frame, `drop_conn` (via `kill`)
+/// after the configured frame count.
 fn serve_connection<R: Read, W: Write + Send + 'static>(
     inner: &Arc<Inner>,
     mut reader: R,
     mut writer: W,
+    kill: Option<Box<dyn FnOnce() + Send>>,
 ) {
     let (tx, rx) = mpsc::channel::<Event>();
     let conn_done = Arc::new(AtomicBool::new(false));
     let writer_done = conn_done.clone();
-    let writer_thread = thread::spawn(move || loop {
-        match rx.recv_timeout(POLL_INTERVAL) {
-            Ok(event) => {
-                if write_frame(&mut writer, &event).is_err() {
-                    return;
+    let faults = inner.faults.clone();
+    let writer_thread = thread::spawn(move || {
+        let mut kill = kill;
+        let mut frames_written: u64 = 0;
+        loop {
+            match rx.recv_timeout(POLL_INTERVAL) {
+                Ok(event) => {
+                    faults.delay_write();
+                    if write_frame(&mut writer, &event).is_err() {
+                        return;
+                    }
+                    frames_written += 1;
+                    if faults.should_drop_conn(frames_written) {
+                        if let Some(kill) = kill.take() {
+                            kill();
+                        }
+                        return;
+                    }
                 }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if writer_done.load(Ordering::Relaxed) {
-                    return;
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if writer_done.load(Ordering::Relaxed) {
+                        return;
+                    }
                 }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
     });
 
@@ -434,12 +595,15 @@ fn handle_request(inner: &Arc<Inner>, tx: &mpsc::Sender<Event>, request: Request
             let _ = tx.send(Event::Pong);
         }
         Request::Submit { spec } => match inner.submit(spec) {
-            Ok(job) => {
+            Ok(Submission::Accepted(job)) => {
                 let _ = tx.send(Event::Submitted { job });
                 // The worker may start publishing between submit() and
                 // here; a bare subscribe() would drop those events. Attach
                 // from seq 0 instead — it replays the gap atomically.
                 let _ = inner.registry.attach(job, 0, tx.clone());
+            }
+            Ok(Submission::Rejected { retry_after_ms }) => {
+                let _ = tx.send(Event::Rejected { retry_after_ms });
             }
             Err(e) => {
                 let _ = tx.send(Event::Error {

@@ -47,40 +47,50 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
             0usize..2,
             0usize..2,
         ),
-        (0usize..2000, 0usize..5000, 0usize..8, 1usize..9, arb_u64()),
+        (
+            0usize..2000,
+            0usize..5000,
+            0usize..8,
+            1usize..9,
+            arb_u64(),
+            prop_oneof![Just(None), (1u64..100_000).prop_map(Some)],
+        ),
     )
         .prop_map(
-            |((model, plat, df, obj, con, dep), (ge, fe, algo, n_envs, seed))| JobSpec {
-                model,
-                platform: [
-                    PlatformClass::Unlimited,
-                    PlatformClass::Cloud,
-                    PlatformClass::Iot,
-                    PlatformClass::IotX,
-                ][plat],
-                dataflow: match df {
-                    Some(i) => DataflowSpec::Fixed(Dataflow::from_index(i).expect("index < 3")),
-                    None => DataflowSpec::Mix,
-                },
-                objective: [Objective::Latency, Objective::Energy, Objective::Edp][obj],
-                constraint: [ConstraintKind::Area, ConstraintKind::Power][con],
-                deployment: [Deployment::LayerSequential, Deployment::LayerPipelined][dep],
-                budget: JobBudget {
-                    global_epochs: ge,
-                    fine_evaluations: fe,
-                },
-                algo: [
-                    AlgorithmKind::Reinforce,
-                    AlgorithmKind::ReinforceMlp,
-                    AlgorithmKind::A2c,
-                    AlgorithmKind::Acktr,
-                    AlgorithmKind::Ppo2,
-                    AlgorithmKind::Ddpg,
-                    AlgorithmKind::Sac,
-                    AlgorithmKind::Td3,
-                ][algo],
-                n_envs,
-                seed,
+            |((model, plat, df, obj, con, dep), (ge, fe, algo, n_envs, seed, deadline_ms))| {
+                JobSpec {
+                    model,
+                    platform: [
+                        PlatformClass::Unlimited,
+                        PlatformClass::Cloud,
+                        PlatformClass::Iot,
+                        PlatformClass::IotX,
+                    ][plat],
+                    dataflow: match df {
+                        Some(i) => DataflowSpec::Fixed(Dataflow::from_index(i).expect("index < 3")),
+                        None => DataflowSpec::Mix,
+                    },
+                    objective: [Objective::Latency, Objective::Energy, Objective::Edp][obj],
+                    constraint: [ConstraintKind::Area, ConstraintKind::Power][con],
+                    deployment: [Deployment::LayerSequential, Deployment::LayerPipelined][dep],
+                    budget: JobBudget {
+                        global_epochs: ge,
+                        fine_evaluations: fe,
+                    },
+                    algo: [
+                        AlgorithmKind::Reinforce,
+                        AlgorithmKind::ReinforceMlp,
+                        AlgorithmKind::A2c,
+                        AlgorithmKind::Acktr,
+                        AlgorithmKind::Ppo2,
+                        AlgorithmKind::Ddpg,
+                        AlgorithmKind::Sac,
+                        AlgorithmKind::Td3,
+                    ][algo],
+                    n_envs,
+                    seed,
+                    deadline_ms,
+                }
             },
         )
 }
@@ -143,6 +153,7 @@ fn arb_event() -> impl Strategy<Value = Event> {
             error
         }),
         (arb_u64(), arb_u64()).prop_map(|(job, seq)| Event::Cancelled { job, seq }),
+        (1u64..=10_000).prop_map(|retry_after_ms| Event::Rejected { retry_after_ms }),
         (arb_u64(), arb_u64(), arb_u64()).prop_map(|(job, from_seq, replayed)| {
             Event::Attached {
                 job,
@@ -151,11 +162,19 @@ fn arb_event() -> impl Strategy<Value = Event> {
             }
         }),
         proptest::collection::vec(
-            (arb_u64(), arb_text(), 0usize..5, arb_u64()).prop_map(|(job, model, st, events)| {
+            (arb_u64(), arb_text(), 0usize..6, arb_u64()).prop_map(|(job, model, st, events)| {
                 JobSummary {
                     job,
                     model,
-                    state: ["queued", "running", "done", "failed", "cancelled"][st].to_string(),
+                    state: [
+                        "queued",
+                        "running",
+                        "done",
+                        "degraded",
+                        "failed",
+                        "cancelled",
+                    ][st]
+                        .to_string(),
                     events,
                 }
             }),

@@ -10,7 +10,7 @@ use std::thread;
 use std::time::Duration;
 
 use confuciux::{JobBudget, JobSpec, SearchOutcome};
-use confuciux_server::{read_frame, write_frame, Event, Request, Server, ServerConfig};
+use confuciux_server::{read_frame, write_frame, Event, FaultPlan, Request, Server, ServerConfig};
 
 fn start_server(config: ServerConfig) -> (thread::JoinHandle<()>, SocketAddr) {
     let server = Arc::new(Server::new(config));
@@ -91,6 +91,7 @@ fn sequential_jobs_share_one_warm_cache() {
         workers: 2,
         sidecar_dir: None,
         flush_secs: 3600,
+        ..ServerConfig::default()
     });
 
     let (_, cold, _) = submit_and_finish(addr, small_spec(11));
@@ -123,6 +124,7 @@ fn killed_client_reattaches_and_catches_up() {
         workers: 2,
         sidecar_dir: None,
         flush_secs: 3600,
+        ..ServerConfig::default()
     });
     let spec = small_spec(23);
     // The ground truth: the same spec run uninterrupted, in-process.
@@ -185,6 +187,7 @@ fn cancel_then_resume_finishes_bit_identically() {
         workers: 2,
         sidecar_dir: None,
         flush_secs: 3600,
+        ..ServerConfig::default()
     });
     let mut spec = JobSpec::paper_default("tiny_cnn");
     spec.budget = JobBudget {
@@ -254,6 +257,7 @@ fn sidecar_survives_daemon_restart() {
         workers: 1,
         sidecar_dir: Some(PathBuf::from(&dir)),
         flush_secs: 3600,
+        ..ServerConfig::default()
     });
     let (_, cold, _) = submit_and_finish(addr, small_spec(5));
     shut_down(addr);
@@ -272,6 +276,7 @@ fn sidecar_survives_daemon_restart() {
         workers: 1,
         sidecar_dir: Some(PathBuf::from(&dir)),
         flush_secs: 3600,
+        ..ServerConfig::default()
     });
     let (_, warm, _) = submit_and_finish(addr, small_spec(5));
     assert_eq!(warm.digest(), cold.digest());
@@ -280,6 +285,273 @@ fn sidecar_survives_daemon_restart() {
         "sidecar warm start should serve >80% from cache, got {:.1}%",
         warm.hit_rate() * 100.0
     );
+    shut_down(addr);
+    serve.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_panic_fails_job_but_daemon_survives() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 2,
+        sidecar_dir: None,
+        flush_secs: 3600,
+        faults: FaultPlan::parse("panic_worker@step=2;seed=9").unwrap(),
+        ..ServerConfig::default()
+    });
+
+    // First job trips the one-shot injected panic mid-search...
+    let mut stream = connect(addr);
+    write_frame(
+        &mut stream,
+        &Request::Submit {
+            spec: small_spec(3),
+        },
+    )
+    .unwrap();
+    let error = loop {
+        match next_event(&mut stream) {
+            Event::Failed { error, .. } => break error,
+            Event::Done { .. } => panic!("job should have hit the injected panic"),
+            _ => {}
+        }
+    };
+    assert!(
+        error.contains("worker panicked") && error.contains("injected fault"),
+        "diagnostic should name the injected panic, got: {error}"
+    );
+
+    // ...and the daemon (and its worker pool) keeps serving: the same
+    // connection stays usable and a fresh job runs to completion.
+    let (_, outcome, _) = submit_and_finish(addr, small_spec(3));
+    assert!(outcome.best_cost().is_some());
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn deadline_expiry_returns_degraded_best_so_far() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: None,
+        flush_secs: 3600,
+        ..ServerConfig::default()
+    });
+
+    // A budget far beyond what the deadline allows.
+    let mut spec = small_spec(7);
+    spec.budget = JobBudget {
+        global_epochs: 1_000_000,
+        fine_evaluations: 1_000_000,
+    };
+    spec.deadline_ms = Some(300);
+
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Submit { spec }).unwrap();
+    let job = match next_event(&mut stream) {
+        Event::Submitted { job } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    let (reason, outcome) = loop {
+        match next_event(&mut stream) {
+            Event::Degraded {
+                reason, outcome, ..
+            } => break (reason, outcome),
+            Event::Done { .. } => panic!("job should have hit its deadline first"),
+            Event::Failed { error, .. } => panic!("job failed instead of degrading: {error}"),
+            _ => {}
+        }
+    };
+
+    // A partial answer, not an error: the outcome is a valid summary
+    // carrying the degradation reason, and the job's terminal state is
+    // `degraded`.
+    assert!(reason.contains("deadline"), "reason: {reason}");
+    assert!(outcome.is_degraded());
+    assert!(
+        outcome.epochs < 1_000_000,
+        "a 300ms deadline cannot have afforded the full budget"
+    );
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Jobs).unwrap();
+    match next_event(&mut stream) {
+        Event::JobList { jobs } => {
+            let summary = jobs.iter().find(|j| j.job == job).expect("job listed");
+            assert_eq!(summary.state, "degraded");
+        }
+        other => panic!("expected JobList, got {other:?}"),
+    }
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn over_capacity_submit_is_rejected_with_retry_hint() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: None,
+        flush_secs: 3600,
+        max_active: 1,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single admission slot with a long-running job.
+    let mut occupant = connect(addr);
+    let mut spec = small_spec(13);
+    spec.budget = JobBudget {
+        global_epochs: 1_000_000,
+        fine_evaluations: 1_000_000,
+    };
+    write_frame(&mut occupant, &Request::Submit { spec }).unwrap();
+    let job = match next_event(&mut occupant) {
+        Event::Submitted { job } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+
+    // The next submit bounces with a positive retry hint and no job id.
+    let mut stream = connect(addr);
+    write_frame(
+        &mut stream,
+        &Request::Submit {
+            spec: small_spec(14),
+        },
+    )
+    .unwrap();
+    match next_event(&mut stream) {
+        Event::Rejected { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // Free the slot and the same submit goes through.
+    write_frame(&mut occupant, &Request::Cancel { job }).unwrap();
+    while !matches!(next_event(&mut occupant), Event::Cancelled { .. }) {}
+    let (_, outcome, _) = submit_and_finish(addr, small_spec(14));
+    assert!(outcome.best_cost().is_some());
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn dropped_connection_reattach_is_gapless_and_digest_identical() {
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: None,
+        flush_secs: 3600,
+        faults: FaultPlan::parse("drop_conn@frame=3;seed=21").unwrap(),
+        ..ServerConfig::default()
+    });
+    let spec = small_spec(21);
+    let expected = spec
+        .clone()
+        .into_runner()
+        .unwrap()
+        .into_result()
+        .outcome()
+        .digest();
+
+    // The daemon hard-closes this connection after its third frame.
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Submit { spec }).unwrap();
+    let mut job = None;
+    let mut events: Vec<Event> = Vec::new();
+    while let Ok(Some(event)) = read_frame::<_, Event>(&mut stream) {
+        if let Event::Submitted { job: id } = &event {
+            job = Some(*id);
+        }
+        events.push(event);
+    }
+    let job = job.expect("Submitted must arrive before the injected drop");
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, Event::Done { .. } | Event::Failed { .. })),
+        "the drop must have cut the stream before the job finished"
+    );
+
+    // Re-attach from the first unseen seq, exactly as a resilient client
+    // would, and follow to Done.
+    let last_seq = events
+        .iter()
+        .filter_map(|e| e.job_seq().map(|(_, seq)| seq))
+        .max();
+    let from_seq = last_seq.map_or(0, |s| s + 1);
+    let mut stream = connect(addr);
+    write_frame(&mut stream, &Request::Attach { job, from_seq }).unwrap();
+    match next_event(&mut stream) {
+        Event::Attached { job: j, .. } => assert_eq!(j, job),
+        other => panic!("expected Attached, got {other:?}"),
+    }
+    let outcome = loop {
+        let event = next_event(&mut stream);
+        events.push(event.clone());
+        if let Event::Done { outcome, .. } = event {
+            break outcome;
+        }
+    };
+
+    // Stitched-together log: gapless, duplicate-free seqs from 0, and the
+    // interrupted stream did not perturb the search itself.
+    let seqs = job_seqs(&events);
+    let want: Vec<u64> = (0..seqs.len() as u64).collect();
+    assert_eq!(seqs, want, "pre-drop + re-attached events must be gapless");
+    assert_eq!(outcome.digest(), expected);
+
+    shut_down(addr);
+    serve.join().unwrap();
+}
+
+#[test]
+fn corrupt_sidecar_is_salvaged_and_quarantined_on_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "confuciux-server-corrupt-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Generation 1 corrupts its own sidecar on flush (torn-write fault).
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: Some(PathBuf::from(&dir)),
+        flush_secs: 3600,
+        faults: FaultPlan::parse("corrupt_sidecar;seed=5").unwrap(),
+        ..ServerConfig::default()
+    });
+    let (_, cold, _) = submit_and_finish(addr, small_spec(5));
+    shut_down(addr);
+    serve.join().unwrap();
+
+    let canonical = dnn_models::by_name("tiny_cnn").unwrap().name().to_string();
+    let sidecar = dir.join(format!("{canonical}.cache.jsonl"));
+    assert!(sidecar.exists());
+
+    // Generation 2 must start normally anyway: the corrupt sidecar is
+    // quarantined, its valid prefix salvaged, and the next job still
+    // reproduces the same result.
+    let (serve, addr) = start_server(ServerConfig {
+        workers: 1,
+        sidecar_dir: Some(PathBuf::from(&dir)),
+        flush_secs: 3600,
+        ..ServerConfig::default()
+    });
+    let (_, warm, _) = submit_and_finish(addr, small_spec(5));
+    assert_eq!(warm.digest(), cold.digest());
+    assert!(
+        warm.hit_rate() > 0.8,
+        "salvaged prefix should still warm the cache, got {:.1}%",
+        warm.hit_rate() * 100.0
+    );
+    let mut quarantined = sidecar.clone().into_os_string();
+    quarantined.push(".corrupt");
+    assert!(
+        PathBuf::from(quarantined).exists(),
+        "the corrupt sidecar must be quarantined, not deleted"
+    );
+
     shut_down(addr);
     serve.join().unwrap();
 
