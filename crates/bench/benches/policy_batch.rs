@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of batched policy inference: one
+//! synchronized step over N replicas through `act_batch` (one GEMM-shaped
+//! forward for the whole batch) versus N per-replica `act` calls — the
+//! serial/vectorized split `collect_vec_rollout` rides on. Throughput is
+//! reported in per-replica policy steps, so the two sides are directly
+//! comparable at every batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_core::{PolicyBackboneKind, PolicyNet, PolicyScratch};
+use std::hint::black_box;
+use tinynn::{LstmState, Rng, SeedableRng};
+
+const OBS_DIM: usize = 10;
+const ACTION_DIMS: [usize; 2] = [12, 12];
+
+fn make_obs(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..OBS_DIM)
+                .map(|j| ((i * 31 + j * 17) % 97) as f32 / 97.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_batch_step(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("policy_batch_step");
+    for (name, kind) in [
+        ("rnn128", PolicyBackboneKind::Rnn),
+        ("mlp128", PolicyBackboneKind::Mlp),
+    ] {
+        let policy = PolicyNet::new(OBS_DIM, &ACTION_DIMS, kind, 128, &mut rng);
+        for n_envs in [4usize, 16, 64] {
+            let obs = make_obs(n_envs);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_serial"), n_envs),
+                &n_envs,
+                |b, &n| {
+                    let mut states: Vec<LstmState> =
+                        (0..n).map(|_| policy.initial_state()).collect();
+                    let mut rngs: Vec<Rng> =
+                        (0..n).map(|i| Rng::seed_from_u64(100 + i as u64)).collect();
+                    b.iter(|| {
+                        for ((o, state), r) in obs.iter().zip(&mut states).zip(&mut rngs) {
+                            black_box(policy.act(black_box(o), state, r));
+                        }
+                    })
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_batch"), n_envs),
+                &n_envs,
+                |b, &n| {
+                    let mut states: Vec<LstmState> =
+                        (0..n).map(|_| policy.initial_state()).collect();
+                    let mut rngs: Vec<Rng> =
+                        (0..n).map(|i| Rng::seed_from_u64(100 + i as u64)).collect();
+                    let mut scratch = PolicyScratch::new();
+                    let obs_refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
+                    b.iter(|| {
+                        let mut state_refs: Vec<&mut LstmState> = states.iter_mut().collect();
+                        let mut rng_refs: Vec<&mut Rng> = rngs.iter_mut().collect();
+                        black_box(policy.act_batch(
+                            black_box(&obs_refs),
+                            &mut state_refs,
+                            &mut rng_refs,
+                            &mut scratch,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_step);
+criterion_main!(benches);

@@ -21,12 +21,14 @@
 use std::time::{Duration, Instant};
 
 use confuciux::{
-    two_stage_search, ConstraintKind, CostOracle, Deployment, EvalEngine, EvalQuery, HwProblem,
-    JobSpec, Objective, PlatformClass, TwoStageRunner, VecEnv, VecHwEnv,
+    two_stage_search, ConstraintKind, CostOracle, Deployment, EvalEngine, EvalQuery, HwEnv,
+    HwProblem, JobSpec, Objective, PlatformClass, TwoStageRunner, VecHwEnv,
 };
 use confuciux_bench::{standard_spec, Args};
 use maestro::{BatchQueries, CostModel, CostReport, Dataflow, DesignPoint, LayerInvariants};
+use rl_core::{collect_vec_rollout, Env, PolicyBackboneKind, PolicyNet, PolicyScratch};
 use serde::{Deserialize, Serialize};
+use tinynn::{LstmState, Rng, SeedableRng};
 
 /// Allowed relative regression on every gated metric.
 const TOLERANCE: f64 = 0.30;
@@ -50,19 +52,30 @@ const RL_EPISODES: usize = 192;
 /// one engine batch — the shape `VecHwEnv` is built for.
 const RL_VEC_ENVS: usize = 64;
 /// Floor on the vectorized-over-serial rollout throughput ratio, gated on
-/// every machine class (it does not depend on core count). The microbench
-/// is deliberately adversarial to batching — cold cache, every episode a
-/// unique design point, and an analytic cost model whose ~60ns
-/// evaluations are cheaper than any per-query bookkeeping — so the
-/// vectorized path cannot *win* it: this gate instead locks in that
-/// vectorization never costs meaningful stepping throughput even there.
-/// The wins show up off this worst case: replicas proposing overlapping
-/// configs are deduplicated per synchronized step, warm-cache rounds
-/// amortize one stripe lock over the whole batch, and an expensive cost
-/// model (the fidelity direction the roadmap points at) lets the fused
-/// round clear the worker-pool threshold that per-episode stepping never
-/// can.
-const RL_MIN_SPEEDUP: f64 = 0.75;
+/// every machine class (it does not depend on core count). The rollout
+/// microbench drives real policy-driven episodes — `collect_vec_rollout`
+/// with the paper's LSTM-128 policy acting for every replica — so one
+/// synchronized step fuses N policy forwards into one GEMM-shaped batch
+/// and N env steps into one engine round. Batched inference is where the
+/// vectorized path earns its keep on single-core CI: the fused GEMMs
+/// stream the policy weights once per step instead of once per replica,
+/// which more than pays for the env-side batching bookkeeping that used
+/// to leave this ratio below 1 when rollouts carried no policy at all.
+const RL_MIN_SPEEDUP: f64 = 1.0;
+/// Floor on the batched policy-inference speedup over a per-replica
+/// serial `act` loop at [`RL_VEC_ENVS`] replicas. Both sides run
+/// single-threaded on this machine, so the ratio is hardware-local and
+/// gates on every machine class. The floor is deliberately below the 2x a
+/// GEMM-dominated forward would suggest: the bit-exactness contract pins
+/// the LSTM gate nonlinearities to the same scalar libm `exp`/`tanh`
+/// calls on both paths (~5 per hidden unit per step), and once the GEMMs
+/// are batched *and* SIMD-dispatched on both sides those calls bound the
+/// fair-fight ratio near 1.3 — the gate locks in the batching win without
+/// inviting a bit-breaking "fast math" fix to clear an impossible bar.
+const POLICY_MIN_SPEEDUP: f64 = 1.15;
+/// Synchronized policy steps measured per repetition of the
+/// pure-inference microbench.
+const POLICY_ROUNDS: usize = 32;
 /// Floor on the batch pricing kernel's single-thread speedup over the
 /// scalar `CostModel::evaluate` loop on a GA-shaped batch. The Criterion
 /// bench (`cargo bench --bench batch_kernel`) shows ~3.6x on the same
@@ -119,6 +132,13 @@ struct BenchCi {
     rl_vec_speedup: f64,
     /// Replicas used by the vectorized rollout configuration.
     rl_n_envs: usize,
+    /// Per-replica policy-inference throughput (steps/sec) of a serial
+    /// `act` loop over [`RL_VEC_ENVS`] replicas.
+    policy_steps_per_sec_serial: f64,
+    /// The same work fused into one `act_batch` call per synchronized step.
+    policy_steps_per_sec_batch: f64,
+    /// `batch / serial` policy-inference throughput ratio.
+    policy_batch_speedup: f64,
     /// Extra wall time (ms) of the daemon-style stepping loop — deadline
     /// watchdog checked at every step boundary plus one best-so-far
     /// outcome materialization — over a plain stepping loop of the same
@@ -164,11 +184,14 @@ fn degraded_outcome_overhead_ms(spec: &JobSpec) -> f64 {
     best.max(0.0)
 }
 
-/// Best-of-3 throughput (env steps/sec) of random-free deterministic
-/// rollouts through a [`VecHwEnv`]: Layer-Sequential MobileNet-V2 with an
-/// unlimited budget (every episode runs its full horizon) and a distinct
-/// design point per episode, so the engine does fresh cost-model work for
-/// every step and the measurement isolates the rollout path itself.
+/// Best-of-3 throughput (policy steps/sec) of real policy-driven rollouts
+/// through a [`VecHwEnv`]: Layer-Sequential MobileNet-V2 with an unlimited
+/// budget and the paper's LSTM-128 policy acting for every replica. The
+/// measurement covers the whole hot loop the RL search actually runs —
+/// policy inference, action sampling, and engine-backed env stepping —
+/// with one batched forward per synchronized step on the vectorized side
+/// and `n_envs = 1` (a 1-row batch, the serial float-op sequence) on the
+/// serial side.
 fn rl_rollout_steps_per_sec(n_envs: usize, threads: usize) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..3 {
@@ -180,32 +203,86 @@ fn rl_rollout_steps_per_sec(n_envs: usize, threads: usize) -> f64 {
             .threads(threads)
             .build();
         let mut venv = VecHwEnv::new(&problem, n_envs);
-        let levels = problem.actions().levels();
-        let mut next = 0usize;
+        let mut rng = Rng::seed_from_u64(9);
+        let policy = PolicyNet::new(
+            venv.env(0).obs_dim(),
+            &venv.env(0).action_dims(),
+            PolicyBackboneKind::Rnn,
+            128,
+            &mut rng,
+        );
         let start = Instant::now();
+        let mut episodes = 0usize;
         let mut steps_done = 0usize;
-        while steps_done < RL_EPISODES {
-            let k = n_envs.min(RL_EPISODES - steps_done);
-            venv.reset_first(k);
-            // One synchronized step finishes an LS round; enumerate
-            // distinct (pe, buf, dataflow) triples so every episode is a
-            // cache miss.
-            let actions: Vec<Vec<usize>> = (0..k)
-                .map(|_| {
-                    let i = next;
-                    next += 1;
-                    let df = (i / (levels * levels)) % Dataflow::ALL.len();
-                    vec![i % levels, (i / levels) % levels, df]
-                })
+        while episodes < RL_EPISODES {
+            let k = n_envs.min(RL_EPISODES - episodes);
+            // Fresh per-episode streams so both configurations sample the
+            // same number of independent episodes.
+            let mut rngs: Vec<Rng> = (0..k)
+                .map(|i| Rng::seed_from_u64(0x5eed ^ (episodes + i) as u64))
                 .collect();
-            let results = venv.step_all(&actions);
-            assert!(results.iter().all(|s| s.done), "LS episodes are 1 step");
-            steps_done += k;
+            let rollout = collect_vec_rollout(&policy, &mut venv, &mut rngs);
+            steps_done += rollout.steps.iter().map(Vec::len).sum::<usize>();
+            episodes += k;
         }
         let secs = start.elapsed().as_secs_f64().max(1e-9);
         best = best.max(steps_done as f64 / secs);
     }
     best
+}
+
+/// Best-of-3 pure policy-inference throughputs `(serial, batch)` in
+/// per-replica steps/sec at [`RL_VEC_ENVS`] replicas: the serial side
+/// calls `act` once per replica per synchronized step, the batch side
+/// fuses the same work into one `act_batch` call. Same LSTM-128 policy,
+/// same observations, same per-replica RNG streams, no environment — the
+/// ratio isolates the GEMM-shaped inference win itself.
+fn policy_steps_per_sec(obs_dim: usize, action_dims: &[usize]) -> (f64, f64) {
+    let mut rng = Rng::seed_from_u64(11);
+    let policy = PolicyNet::new(obs_dim, action_dims, PolicyBackboneKind::Rnn, 128, &mut rng);
+    let obs: Vec<Vec<f32>> = (0..RL_VEC_ENVS)
+        .map(|i| {
+            (0..obs_dim)
+                .map(|j| ((i * 31 + j * 17) % 97) as f32 / 97.0)
+                .collect()
+        })
+        .collect();
+    let steps_per_rep = (RL_VEC_ENVS * POLICY_ROUNDS) as f64;
+    let mut serial_best = 0.0f64;
+    let mut batch_best = 0.0f64;
+    for _ in 0..3 {
+        let mut states: Vec<LstmState> = (0..RL_VEC_ENVS).map(|_| policy.initial_state()).collect();
+        let mut rngs: Vec<Rng> = (0..RL_VEC_ENVS)
+            .map(|i| Rng::seed_from_u64(100 + i as u64))
+            .collect();
+        let start = Instant::now();
+        for _ in 0..POLICY_ROUNDS {
+            for ((o, state), r) in obs.iter().zip(&mut states).zip(&mut rngs) {
+                std::hint::black_box(policy.act(o, state, r));
+            }
+        }
+        serial_best = serial_best.max(steps_per_rep / start.elapsed().as_secs_f64().max(1e-9));
+
+        let mut states: Vec<LstmState> = (0..RL_VEC_ENVS).map(|_| policy.initial_state()).collect();
+        let mut rngs: Vec<Rng> = (0..RL_VEC_ENVS)
+            .map(|i| Rng::seed_from_u64(100 + i as u64))
+            .collect();
+        let mut scratch = PolicyScratch::new();
+        let obs_refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
+        let start = Instant::now();
+        for _ in 0..POLICY_ROUNDS {
+            let mut state_refs: Vec<&mut LstmState> = states.iter_mut().collect();
+            let mut rng_refs: Vec<&mut Rng> = rngs.iter_mut().collect();
+            std::hint::black_box(policy.act_batch(
+                &obs_refs,
+                &mut state_refs,
+                &mut rng_refs,
+                &mut scratch,
+            ));
+        }
+        batch_best = batch_best.max(steps_per_rep / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    (serial_best, batch_best)
 }
 
 fn main() {
@@ -278,10 +355,23 @@ fn main() {
     let (kernel_evals_per_sec_scalar, kernel_evals_per_sec_batch) = kernel_throughputs(&layers);
     let kernel_batch_speedup = kernel_evals_per_sec_batch / kernel_evals_per_sec_scalar;
 
-    // --- RL-rollout microbench: serial vs vectorized env stepping. ---
+    // --- RL-rollout microbench: serial vs vectorized policy rollouts. ---
     let rl_env_steps_per_sec_serial = rl_rollout_steps_per_sec(1, 1);
     let rl_env_steps_per_sec_vec = rl_rollout_steps_per_sec(RL_VEC_ENVS, threads);
     let rl_vec_speedup = rl_env_steps_per_sec_vec / rl_env_steps_per_sec_serial;
+
+    // --- Pure policy-inference microbench: serial act loop vs act_batch,
+    // sized from the same env the rollout bench steps through. ---
+    let probe = HwProblem::builder(dnn_models::mobilenet_v2())
+        .mix_dataflow()
+        .objective(Objective::Latency)
+        .constraint(ConstraintKind::Area, PlatformClass::Unlimited)
+        .deployment(Deployment::LayerSequential)
+        .build();
+    let probe_env = HwEnv::new(&probe);
+    let (policy_steps_per_sec_serial, policy_steps_per_sec_batch) =
+        policy_steps_per_sec(probe_env.obs_dim(), &probe_env.action_dims());
+    let policy_batch_speedup = policy_steps_per_sec_batch / policy_steps_per_sec_serial;
 
     // --- Deadline-watchdog overhead: daemon loop vs. plain loop. ---
     let degraded_overhead = degraded_outcome_overhead_ms(&spec);
@@ -305,6 +395,9 @@ fn main() {
         rl_env_steps_per_sec_vec,
         rl_vec_speedup,
         rl_n_envs: RL_VEC_ENVS,
+        policy_steps_per_sec_serial,
+        policy_steps_per_sec_batch,
+        policy_batch_speedup,
         degraded_outcome_overhead_ms: degraded_overhead,
         threads,
     };
@@ -380,6 +473,16 @@ fn main() {
                 report.rl_env_steps_per_sec_vec,
                 baseline.rl_env_steps_per_sec_vec,
             ),
+            (
+                "serial policy steps/sec",
+                report.policy_steps_per_sec_serial,
+                baseline.policy_steps_per_sec_serial,
+            ),
+            (
+                "batched policy steps/sec",
+                report.policy_steps_per_sec_batch,
+                baseline.policy_steps_per_sec_batch,
+            ),
         ] {
             if now < base * (1.0 - TOLERANCE) {
                 failures.push(format!(
@@ -416,6 +519,17 @@ fn main() {
             report.kernel_evals_per_sec_batch
         ));
     }
+    // The policy-inference floor compares two single-thread loops on this
+    // machine, so it too gates on every machine class.
+    if report.policy_batch_speedup < POLICY_MIN_SPEEDUP {
+        failures.push(format!(
+            "batched policy inference {:.2}x of serial, below the {POLICY_MIN_SPEEDUP:.2}x floor \
+             (serial {:.0} vs batch {:.0} steps/sec, {RL_VEC_ENVS} replicas)",
+            report.policy_batch_speedup,
+            report.policy_steps_per_sec_serial,
+            report.policy_steps_per_sec_batch
+        ));
+    }
     // The watchdog overhead compares two loops run back to back on this
     // machine, so it too gates everywhere.
     let overhead_ceiling =
@@ -432,7 +546,7 @@ fn main() {
     if report.rl_vec_speedup < RL_MIN_SPEEDUP {
         failures.push(format!(
             "vectorized rollout throughput {:.2}x of serial, below the {RL_MIN_SPEEDUP:.2}x \
-             no-pessimization floor ({RL_VEC_ENVS} replicas, {threads} threads)",
+             floor ({RL_VEC_ENVS} replicas, {threads} threads)",
             report.rl_vec_speedup
         ));
     }

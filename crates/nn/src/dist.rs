@@ -7,7 +7,15 @@ use crate::{Matrix, Rng};
 
 /// Row-wise softmax with max-subtraction for numerical stability.
 pub fn softmax(logits: &Matrix) -> Matrix {
-    let mut out = logits.clone();
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Row-wise softmax written into `out`, reusing its allocation (hot-loop
+/// variant of [`softmax`]; same operations row by row, same bits).
+pub fn softmax_into(logits: &Matrix, out: &mut Matrix) {
+    out.reset_to(logits.rows(), logits.cols());
     for r in 0..logits.rows() {
         let row = logits.row(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -22,7 +30,6 @@ pub fn softmax(logits: &Matrix) -> Matrix {
             out.set(r, c, out.get(r, c) / sum);
         }
     }
-    out
 }
 
 /// Row-wise log-softmax.

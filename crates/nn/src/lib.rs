@@ -30,12 +30,13 @@ mod mlp;
 
 pub use adam::Adam;
 pub use dist::{
-    categorical_entropy, gaussian_log_prob, log_softmax, sample_categorical, softmax, GaussianGrad,
+    categorical_entropy, gaussian_log_prob, log_softmax, sample_categorical, softmax, softmax_into,
+    GaussianGrad,
 };
 pub use linear::Linear;
-pub use lstm::{LstmCache, LstmCell, LstmState};
-pub use matrix::Matrix;
-pub use mlp::{Activation, Mlp, MlpCache};
+pub use lstm::{LstmBatchScratch, LstmCache, LstmCell, LstmState};
+pub use matrix::{MatRef, Matrix};
+pub use mlp::{Activation, Mlp, MlpCache, MlpScratch};
 
 /// The RNG used throughout the crate (re-exported so callers don't need a
 /// direct `rand` dependency for seeding).

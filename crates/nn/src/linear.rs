@@ -1,4 +1,4 @@
-use crate::{Matrix, Param, Rng};
+use crate::{MatRef, Matrix, Param, Rng};
 
 /// A fully-connected layer `y = x·W + b` with explicit backward.
 ///
@@ -31,9 +31,27 @@ impl Linear {
         self.w.w.cols()
     }
 
-    /// Forward pass: `x (n×in) -> n×out`.
+    /// Forward pass: `x (n×in) -> n×out`. Rows are independent, so an
+    /// `N`-row batch is bit-identical to `N` separate 1-row calls.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w.w).add_row_broadcast(&self.b.w)
+        self.forward_batch(x.view())
+    }
+
+    /// Borrowed-input forward over `N` stacked rows — lets hot loops run
+    /// straight off an observation buffer without copying it into a
+    /// `Matrix` first.
+    pub fn forward_batch(&self, x: MatRef<'_>) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.output_dim());
+        self.forward_batch_into(x, &mut out);
+        out
+    }
+
+    /// Scratch-reuse variant of [`Linear::forward_batch`]: writes into
+    /// `out`, reusing its allocation. Bias is added after the matmul (never
+    /// fused as the accumulator seed), preserving the serial rounding order.
+    pub fn forward_batch_into(&self, x: MatRef<'_>, out: &mut Matrix) {
+        x.matmul_into(&self.w.w, out);
+        out.add_row_broadcast_assign(&self.b.w);
     }
 
     /// Backward pass. `x` must be the input used in the corresponding

@@ -1,11 +1,11 @@
-use crate::{Matrix, Param, Rng};
+use crate::{MatRef, Matrix, Param, Rng};
 
 fn sigmoid(v: f32) -> f32 {
     1.0 / (1.0 + (-v).exp())
 }
 
 /// Hidden and cell state of an LSTM, each `batch × hidden`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LstmState {
     /// Hidden state `h`.
     pub h: Matrix,
@@ -23,10 +23,12 @@ impl LstmState {
     }
 }
 
-/// Everything the backward pass needs from one forward step.
+/// Everything the backward pass needs from one forward step *except* the
+/// input `x`, which the caller already owns (episode buffers store the
+/// observation anyway) and passes back to [`LstmCell::backward`] — keeping a
+/// second copy here would double the rollout's per-step storage.
 #[derive(Debug, Clone)]
 pub struct LstmCache {
-    x: Matrix,
     h_prev: Matrix,
     c_prev: Matrix,
     i: Matrix,
@@ -34,6 +36,57 @@ pub struct LstmCache {
     g: Matrix,
     o: Matrix,
     tanh_c_new: Matrix,
+}
+
+/// Reusable scratch for [`LstmCell::forward_batch_into`]: every intermediate
+/// of a batched forward step lives here, so the rollout hot loop performs no
+/// per-step allocations. After a forward step, [`LstmBatchScratch::h_new`] /
+/// [`LstmBatchScratch::c_new`] hold the new `batch × hidden` state and
+/// [`LstmBatchScratch::row_cache`] extracts a per-replica 1-row cache for
+/// later BPTT.
+#[derive(Debug, Default)]
+pub struct LstmBatchScratch {
+    gates: Matrix,
+    hh: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    c_new: Matrix,
+    tanh_c_new: Matrix,
+    h_new: Matrix,
+}
+
+impl LstmBatchScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New hidden state rows from the last forward step.
+    pub fn h_new(&self) -> &Matrix {
+        &self.h_new
+    }
+
+    /// New cell state rows from the last forward step.
+    pub fn c_new(&self) -> &Matrix {
+        &self.c_new
+    }
+
+    /// Extracts the 1-row BPTT cache for batch row `r`, given the pre-step
+    /// state the forward ran from. Bit-identical to the cache a serial
+    /// [`LstmCell::forward`] on that row alone would have produced.
+    pub fn row_cache(&self, r: usize, prev: &LstmState) -> LstmCache {
+        LstmCache {
+            h_prev: Matrix::row_from_slice(prev.h.row(r)),
+            c_prev: Matrix::row_from_slice(prev.c.row(r)),
+            i: Matrix::row_from_slice(self.i.row(r)),
+            f: Matrix::row_from_slice(self.f.row(r)),
+            g: Matrix::row_from_slice(self.g.row(r)),
+            o: Matrix::row_from_slice(self.o.row(r)),
+            tanh_c_new: Matrix::row_from_slice(self.tanh_c_new.row(r)),
+        }
+    }
 }
 
 /// A single-layer LSTM cell with gate order `[i, f, g, o]` packed into one
@@ -82,47 +135,89 @@ impl LstmCell {
     }
 
     /// One forward step. Returns the new state and the cache needed by
-    /// [`LstmCell::backward`].
+    /// [`LstmCell::backward`]. Rows are independent: an `N`-row `x` gives
+    /// bit-identical results to `N` separate 1-row calls.
     pub fn forward(&self, x: &Matrix, state: &LstmState) -> (LstmState, LstmCache) {
-        let batch = x.rows();
-        let h = self.hidden;
-        let gates = x
-            .matmul(&self.wx.w)
-            .add(&state.h.matmul(&self.wh.w))
-            .add_row_broadcast(&self.b.w);
-        let mut i = Matrix::zeros(batch, h);
-        let mut f = Matrix::zeros(batch, h);
-        let mut g = Matrix::zeros(batch, h);
-        let mut o = Matrix::zeros(batch, h);
-        for r in 0..batch {
-            for j in 0..h {
-                i.set(r, j, sigmoid(gates.get(r, j)));
-                f.set(r, j, sigmoid(gates.get(r, h + j)));
-                g.set(r, j, gates.get(r, 2 * h + j).tanh());
-                o.set(r, j, sigmoid(gates.get(r, 3 * h + j)));
-            }
-        }
-        let c_new = f.hadamard(&state.c).add(&i.hadamard(&g));
-        let tanh_c_new = c_new.map(f32::tanh);
-        let h_new = o.hadamard(&tanh_c_new);
+        self.forward_batch(x.view(), state)
+    }
+
+    /// Borrowed-input forward over `N` stacked rows (the batched rollout
+    /// entry point). Allocates fresh outputs; the rollout hot loop uses
+    /// [`LstmCell::forward_batch_into`] instead.
+    pub fn forward_batch(&self, x: MatRef<'_>, state: &LstmState) -> (LstmState, LstmCache) {
+        let mut scratch = LstmBatchScratch::new();
+        self.forward_batch_into(x, state, &mut scratch);
         let cache = LstmCache {
-            x: x.clone(),
             h_prev: state.h.clone(),
             c_prev: state.c.clone(),
-            i,
-            f,
-            g,
-            o,
-            tanh_c_new,
+            i: scratch.i,
+            f: scratch.f,
+            g: scratch.g,
+            o: scratch.o,
+            tanh_c_new: scratch.tanh_c_new,
         };
-        (LstmState { h: h_new, c: c_new }, cache)
+        (
+            LstmState {
+                h: scratch.h_new,
+                c: scratch.c_new,
+            },
+            cache,
+        )
+    }
+
+    /// Batched forward step writing every intermediate into `scratch` —
+    /// zero allocations once the scratch has warmed up. The arithmetic is
+    /// the serial forward's, element for element: gates accumulate as
+    /// `(x·Wx + h·Wh) + b` in that order, so results are bit-identical to
+    /// per-row serial calls.
+    pub fn forward_batch_into(
+        &self,
+        x: MatRef<'_>,
+        state: &LstmState,
+        scratch: &mut LstmBatchScratch,
+    ) {
+        let batch = x.rows();
+        let h = self.hidden;
+        assert_eq!(state.h.rows(), batch, "state batch mismatch");
+        x.matmul_into(&self.wx.w, &mut scratch.gates);
+        state.h.matmul_into(&self.wh.w, &mut scratch.hh);
+        scratch.gates.add_assign(&scratch.hh);
+        scratch.gates.add_row_broadcast_assign(&self.b.w);
+        scratch.i.reset_to(batch, h);
+        scratch.f.reset_to(batch, h);
+        scratch.g.reset_to(batch, h);
+        scratch.o.reset_to(batch, h);
+        scratch.c_new.reset_to(batch, h);
+        scratch.tanh_c_new.reset_to(batch, h);
+        scratch.h_new.reset_to(batch, h);
+        for r in 0..batch {
+            let grow = scratch.gates.row(r);
+            let crow = state.c.row(r);
+            for j in 0..h {
+                let iv = sigmoid(grow[j]);
+                let fv = sigmoid(grow[h + j]);
+                let gv = grow[2 * h + j].tanh();
+                let ov = sigmoid(grow[3 * h + j]);
+                let cv = fv * crow[j] + iv * gv;
+                let tv = cv.tanh();
+                scratch.i.set(r, j, iv);
+                scratch.f.set(r, j, fv);
+                scratch.g.set(r, j, gv);
+                scratch.o.set(r, j, ov);
+                scratch.c_new.set(r, j, cv);
+                scratch.tanh_c_new.set(r, j, tv);
+                scratch.h_new.set(r, j, ov * tv);
+            }
+        }
     }
 
     /// One backward step (for BPTT, call in reverse time order threading
-    /// `dh_prev`/`dc_prev` into the previous step). Accumulates parameter
-    /// gradients and returns `(dx, dh_prev, dc_prev)`.
+    /// `dh_prev`/`dc_prev` into the previous step). `x` is the same input
+    /// the forward step consumed (the cache does not store it). Accumulates
+    /// parameter gradients and returns `(dx, dh_prev, dc_prev)`.
     pub fn backward(
         &mut self,
+        x: &Matrix,
         cache: &LstmCache,
         dh: &Matrix,
         dc: &Matrix,
@@ -154,7 +249,7 @@ impl LstmCell {
                 dgates.set(r, 3 * h + j, do_.get(r, j) * ov * (1.0 - ov));
             }
         }
-        self.wx.g.add_scaled(&cache.x.matmul_tn(&dgates), 1.0);
+        self.wx.g.add_scaled(&x.matmul_tn(&dgates), 1.0);
         self.wh.g.add_scaled(&cache.h_prev.matmul_tn(&dgates), 1.0);
         self.b.g.add_scaled(&dgates.sum_rows(), 1.0);
         let dx = dgates.matmul_nt(&self.wx.w);
@@ -212,8 +307,8 @@ mod tests {
         }
         let mut dh = Matrix::from_vec(1, 4, vec![1.0; 4]);
         let mut dc = Matrix::zeros(1, 4);
-        for cache in caches.iter().rev() {
-            let (_dx, dh_prev, dc_prev) = cell.backward(cache, &dh, &dc);
+        for (x, cache) in xs.iter().zip(&caches).rev() {
+            let (_dx, dh_prev, dc_prev) = cell.backward(x, cache, &dh, &dc);
             // Every step's h contributes 1.0 to the loss.
             dh = dh_prev.add(&Matrix::from_vec(1, 4, vec![1.0; 4]));
             dc = dc_prev;

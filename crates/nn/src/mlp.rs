@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{Linear, Matrix, Param, Rng};
+use crate::{Linear, MatRef, Matrix, Param, Rng};
 
 /// Hidden-layer activation for [`Mlp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -19,12 +19,35 @@ impl Activation {
         }
     }
 
+    /// In-place variant of `apply` for scratch-reuse paths; same
+    /// elementwise formulas, same bits.
+    fn apply_assign(self, m: &mut Matrix) {
+        match self {
+            Activation::Tanh => m.map_assign(f32::tanh),
+            Activation::Relu => m.map_assign(|v| v.max(0.0)),
+        }
+    }
+
     /// Derivative expressed in terms of the *activated* output.
     fn derivative_from_output(self, y: &Matrix) -> Matrix {
         match self {
             Activation::Tanh => y.map(|v| 1.0 - v * v),
             Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
         }
+    }
+}
+
+/// Reusable ping-pong buffers for [`Mlp::infer_batch_into`].
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl MlpScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -68,11 +91,24 @@ impl Mlp {
         self.layers.last().expect("non-empty").output_dim()
     }
 
-    /// Forward pass returning the output and the cache for backward.
+    /// Forward pass returning the output and the cache for backward. Rows
+    /// are independent: an `N`-row batch is bit-identical to `N` separate
+    /// 1-row calls.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
-        let mut activations = vec![x.clone()];
-        let mut cur = x.clone();
-        for (idx, layer) in self.layers.iter().enumerate() {
+        self.forward_batch(x.view())
+    }
+
+    /// Borrowed-input forward over `N` stacked rows (e.g. a whole episode's
+    /// observations for one batched critic update). The cache stores an
+    /// owned copy of `x` for backward.
+    pub fn forward_batch(&self, x: MatRef<'_>) -> (Matrix, MlpCache) {
+        let mut activations = vec![x.to_matrix()];
+        let mut cur = self.layers[0].forward_batch(x);
+        if self.layers.len() > 1 {
+            cur = self.activation.apply(&cur);
+            activations.push(cur.clone());
+        }
+        for (idx, layer) in self.layers.iter().enumerate().skip(1) {
             cur = layer.forward(&cur);
             if idx + 1 < self.layers.len() {
                 cur = self.activation.apply(&cur);
@@ -85,6 +121,27 @@ impl Mlp {
     /// Forward pass without keeping a cache (inference only).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         self.forward(x).0
+    }
+
+    /// Cache-free batched forward writing through reusable ping-pong
+    /// buffers — zero allocations once the scratch has warmed up. Returns a
+    /// reference to the output rows inside the scratch.
+    pub fn infer_batch_into<'s>(&self, x: MatRef<'_>, scratch: &'s mut MlpScratch) -> &'s Matrix {
+        let n = self.layers.len();
+        let MlpScratch { a, b } = scratch;
+        let (mut src, mut dst) = (a, b);
+        self.layers[0].forward_batch_into(x, src);
+        if n > 1 {
+            self.activation.apply_assign(src);
+        }
+        for (idx, layer) in self.layers.iter().enumerate().skip(1) {
+            layer.forward_batch_into(src.view(), dst);
+            if idx + 1 < n {
+                self.activation.apply_assign(dst);
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        &*src
     }
 
     /// Backward pass from `dout` (gradient w.r.t. the linear output),

@@ -1,0 +1,99 @@
+//! Batched-vs-serial bit-identity: the contract the vectorized RL rollout
+//! rests on. A batched forward over `N` stacked rows must equal `N`
+//! separate 1-row forwards on every element, compared by `to_bits` — not
+//! approximately, exactly. `Matrix::matmul`'s per-element accumulation
+//! order is independent of how many rows are batched, so any divergence
+//! here is a kernel bug, not float noise.
+
+use proptest::prelude::*;
+use tinynn::{
+    Activation, LstmBatchScratch, LstmCell, LstmState, MatRef, Matrix, Mlp, MlpScratch, SeedableRng,
+};
+
+fn assert_rows_bits_eq(batched: &Matrix, row: &Matrix, r: usize, what: &str) {
+    assert_eq!(row.rows(), 1);
+    for (c, (x, y)) in batched.row(r).iter().zip(row.row(0)).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: row {r} col {c}: batched {x} vs serial {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mlp::forward over a stacked batch == per-row serial forwards, bitwise.
+    #[test]
+    fn mlp_batched_forward_matches_serial_rows(
+        seed in 0u64..1_000,
+        batch in 1usize..9,
+        data in proptest::collection::vec(-3.0f32..3.0, 8 * 6),
+    ) {
+        let mut rng = tinynn::Rng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[6, 13, 5], Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(8, 6, data);
+        let stacked = Matrix::from_vec(batch, 6, x.data()[..batch * 6].to_vec());
+
+        let (batched, _) = mlp.forward(&stacked);
+        let mut scratch = MlpScratch::new();
+        let via_scratch = mlp.infer_batch_into(stacked.view(), &mut scratch).clone();
+
+        for r in 0..batch {
+            let row = Matrix::row_from_slice(stacked.row(r));
+            let (serial, _) = mlp.forward(&row);
+            assert_rows_bits_eq(&batched, &serial, r, "Mlp::forward");
+            assert_rows_bits_eq(&via_scratch, &serial, r, "Mlp::infer_batch_into");
+        }
+    }
+
+    /// LstmCell batched step == per-row serial steps, bitwise, for h and c,
+    /// through both the allocating and the scratch-reuse entry points.
+    #[test]
+    fn lstm_batched_forward_matches_serial_rows(
+        seed in 0u64..1_000,
+        batch in 1usize..9,
+        xdata in proptest::collection::vec(-3.0f32..3.0, 8 * 5),
+        hdata in proptest::collection::vec(-1.0f32..1.0, 8 * 4),
+        cdata in proptest::collection::vec(-2.0f32..2.0, 8 * 4),
+    ) {
+        let mut rng = tinynn::Rng::seed_from_u64(seed);
+        let cell = LstmCell::new(5, 4, &mut rng);
+        let x = Matrix::from_vec(batch, 5, xdata[..batch * 5].to_vec());
+        let state = LstmState {
+            h: Matrix::from_vec(batch, 4, hdata[..batch * 4].to_vec()),
+            c: Matrix::from_vec(batch, 4, cdata[..batch * 4].to_vec()),
+        };
+
+        let (next, _) = cell.forward(&x, &state);
+        let mut scratch = LstmBatchScratch::new();
+        cell.forward_batch_into(x.view(), &state, &mut scratch);
+
+        for r in 0..batch {
+            let xr = Matrix::row_from_slice(x.row(r));
+            let sr = LstmState {
+                h: Matrix::row_from_slice(state.h.row(r)),
+                c: Matrix::row_from_slice(state.c.row(r)),
+            };
+            let (serial, _) = cell.forward(&xr, &sr);
+            assert_rows_bits_eq(&next.h, &serial.h, r, "LstmCell h");
+            assert_rows_bits_eq(&next.c, &serial.c, r, "LstmCell c");
+            assert_rows_bits_eq(scratch.h_new(), &serial.h, r, "LstmBatchScratch h");
+            assert_rows_bits_eq(scratch.c_new(), &serial.c, r, "LstmBatchScratch c");
+        }
+    }
+
+    /// MatRef-borrowed rows give the same bits as owned-Matrix rows.
+    #[test]
+    fn borrowed_row_forward_matches_owned(
+        seed in 0u64..1_000,
+        data in proptest::collection::vec(-3.0f32..3.0, 7),
+    ) {
+        let mut rng = tinynn::Rng::seed_from_u64(seed);
+        let layer = tinynn::Linear::new(7, 11, &mut rng);
+        let owned = layer.forward(&Matrix::row_from_slice(&data));
+        let borrowed = layer.forward_batch(MatRef::row(&data));
+        assert_rows_bits_eq(&owned, &borrowed, 0, "Linear borrowed row");
+    }
+}

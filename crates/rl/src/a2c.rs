@@ -1,7 +1,7 @@
 use tinynn::{Activation, Adam, Matrix, Mlp, Rng};
 
 use crate::{
-    collect_vec_rollout, discounted_returns, standardize, Agent, Env, EpochReport,
+    collect_vec_rollout, discounted_returns, stack_rows, standardize, Agent, Env, EpochReport,
     PolicyBackboneKind, PolicyNet, PolicyStep, VecEnv,
 };
 
@@ -85,11 +85,13 @@ impl A2c {
         feasible_cost: Option<f64>,
     ) -> EpochReport {
         let returns = discounted_returns(rewards, self.config.gamma);
-        // Critic values and advantage baseline.
+        // Critic values and advantage baseline: one batched forward over
+        // the whole episode (bit-identical to T single-row calls).
+        let stacked_obs = stack_rows(observations);
+        let values = self.critic.infer(&stacked_obs);
         let mut advantages = Vec::with_capacity(returns.len());
-        for (o, &g) in observations.iter().zip(&returns) {
-            let v = self.critic.infer(&Matrix::row_from_slice(o)).get(0, 0);
-            advantages.push(g - v);
+        for (t, &g) in returns.iter().enumerate() {
+            advantages.push(g - values.get(t, 0));
         }
         let coefs = if advantages.len() == 1 {
             // One-step episode (LS mode): the critic baseline already
@@ -104,15 +106,18 @@ impl A2c {
             self.policy
                 .apply_update(&mut self.actor_opt, self.config.max_grad_norm);
         }
-        // Critic regression toward the Monte-Carlo returns.
+        // Critic regression toward the Monte-Carlo returns: one batched
+        // forward + backward. The gradient is a sum over timesteps, and
+        // the batched GEMMs accumulate it in the same ascending-t order
+        // the per-step loop did, so the update is bit-identical.
         self.critic.zero_grad();
-        for (o, &g) in observations.iter().zip(&returns) {
-            let x = Matrix::row_from_slice(o);
-            let (v, cache) = self.critic.forward(&x);
-            let err = v.get(0, 0) - g;
-            let dout = Matrix::from_vec(1, 1, vec![2.0 * err / returns.len() as f32]);
-            self.critic.backward(&cache, &dout);
+        let (v, cache) = self.critic.forward(&stacked_obs);
+        let mut dout = Matrix::zeros(returns.len(), 1);
+        for (t, &g) in returns.iter().enumerate() {
+            let err = v.get(t, 0) - g;
+            dout.row_mut(t)[0] = 2.0 * err / returns.len() as f32;
         }
+        self.critic.backward(&cache, &dout);
         let mut params = self.critic.params_mut();
         tinynn::clip_global_grad_norm(&mut params, self.config.max_grad_norm);
         self.critic_opt.step(&mut params);

@@ -42,7 +42,7 @@ pub use acktr::{Acktr, AcktrConfig};
 pub use agent::{Agent, EpochReport};
 pub use ddpg::{Ddpg, DdpgConfig};
 pub use env::{continuous_to_discrete, Env, Step};
-pub use policy::{PolicyBackboneKind, PolicyNet, PolicyStep};
+pub use policy::{PolicyBackboneKind, PolicyNet, PolicyScratch, PolicyStep};
 pub use ppo::{Ppo, PpoConfig};
 pub use reinforce::{Reinforce, ReinforceConfig};
 pub use replay::{ReplayBuffer, Transition};
@@ -59,6 +59,18 @@ pub fn discounted_returns(rewards: &[f32], gamma: f32) -> Vec<f32> {
         returns[i] = acc;
     }
     returns
+}
+
+/// Stacks per-step observation vectors into a `T × obs_dim` matrix so the
+/// critic can run one batched forward/backward over a whole episode
+/// instead of `T` single-row passes. Every row must have the same length.
+pub(crate) fn stack_rows(rows: &[Vec<f32>]) -> tinynn::Matrix {
+    let dim = rows.first().map_or(0, Vec::len);
+    let mut out = tinynn::Matrix::zeros(rows.len(), dim);
+    for (t, row) in rows.iter().enumerate() {
+        out.row_mut(t).copy_from_slice(row);
+    }
+    out
 }
 
 /// Standardizes values to zero mean / unit variance (the paper's

@@ -1,6 +1,6 @@
 use tinynn::{
-    categorical_entropy, sample_categorical, softmax, Adam, Linear, LstmCache, LstmCell, LstmState,
-    Matrix, Param, Rng,
+    categorical_entropy, sample_categorical, softmax, softmax_into, Adam, Linear, LstmBatchScratch,
+    LstmCache, LstmCell, LstmState, MatRef, Matrix, Param, Rng,
 };
 
 /// Backbone of the policy network: the paper's default is a single
@@ -31,6 +31,27 @@ pub struct PolicyStep {
     pub actions: Vec<usize>,
     /// Sum over heads of `log π(a|s)` at decision time.
     pub log_prob: f32,
+}
+
+/// Reusable scratch arena for [`PolicyNet::act_batch`]: stacked
+/// observations, the batched recurrent state, and every forward
+/// intermediate live here, so the vectorized rollout hot loop stops
+/// allocating `Matrix` temporaries every step.
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    obs: Matrix,
+    prev: LstmState,
+    lstm: LstmBatchScratch,
+    features: Matrix,
+    logits: Matrix,
+    probs: Matrix,
+}
+
+impl PolicyScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A multi-head stochastic policy: a shared backbone followed by one
@@ -85,15 +106,15 @@ impl PolicyNet {
         LstmState::zeros(1, self.hidden)
     }
 
-    fn features(&self, obs: &Matrix, state: &mut LstmState) -> (Matrix, Option<LstmCache>) {
+    fn features(&self, obs: MatRef<'_>, state: &mut LstmState) -> (Matrix, Option<LstmCache>) {
         match &self.backbone {
             Backbone::Rnn(cell) => {
-                let (next, cache) = cell.forward(obs, state);
+                let (next, cache) = cell.forward_batch(obs, state);
                 let h = next.h.clone();
                 *state = next;
                 (h, Some(cache))
             }
-            Backbone::Mlp(l1) => (l1.forward(obs).map(f32::tanh), None),
+            Backbone::Mlp(l1) => (l1.forward_batch(obs).map(f32::tanh), None),
         }
     }
 
@@ -121,8 +142,9 @@ impl PolicyNet {
         mut pick: impl FnMut(&[f32]) -> usize,
     ) -> PolicyStep {
         assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
-        let obs_m = Matrix::row_from_slice(obs);
-        let (features, lstm_cache) = self.features(&obs_m, state);
+        // The forward runs off the borrowed row; the only owned copy of the
+        // observation is the one the step stores for backward.
+        let (features, lstm_cache) = self.features(MatRef::row(obs), state);
         let mut probs = Vec::with_capacity(self.heads.len());
         let mut actions = Vec::with_capacity(self.heads.len());
         let mut log_prob = 0.0;
@@ -135,7 +157,7 @@ impl PolicyNet {
             actions.push(a);
         }
         PolicyStep {
-            obs: obs_m,
+            obs: Matrix::row_from_slice(obs),
             features,
             lstm_cache,
             probs,
@@ -144,25 +166,140 @@ impl PolicyNet {
         }
     }
 
+    /// Samples one tuple of sub-actions per replica from a single batched
+    /// backbone+head forward. Replica `r`'s actions are drawn from its own
+    /// `rngs[r]` stream in head order, so each replica consumes exactly the
+    /// random draws a serial [`PolicyNet::act`] would have — results are
+    /// bit-identical per replica, batching only changes the GEMM shape.
+    pub fn act_batch(
+        &self,
+        obs: &[&[f32]],
+        states: &mut [&mut LstmState],
+        rngs: &mut [&mut Rng],
+        scratch: &mut PolicyScratch,
+    ) -> Vec<PolicyStep> {
+        let k = obs.len();
+        assert!(k > 0, "act_batch needs at least one replica");
+        assert_eq!(states.len(), k, "one recurrent state per replica");
+        assert_eq!(rngs.len(), k, "one RNG stream per replica");
+        let PolicyScratch {
+            obs: obs_buf,
+            prev,
+            lstm,
+            features,
+            logits,
+            probs,
+        } = scratch;
+        obs_buf.reset_to(k, self.obs_dim);
+        for (r, row) in obs.iter().enumerate() {
+            assert_eq!(row.len(), self.obs_dim, "observation width mismatch");
+            obs_buf.row_mut(r).copy_from_slice(row);
+        }
+        let mut steps: Vec<PolicyStep> = Vec::with_capacity(k);
+        let feat: &Matrix = match &self.backbone {
+            Backbone::Rnn(cell) => {
+                prev.h.reset_to(k, self.hidden);
+                prev.c.reset_to(k, self.hidden);
+                for (r, st) in states.iter().enumerate() {
+                    prev.h.row_mut(r).copy_from_slice(st.h.row(0));
+                    prev.c.row_mut(r).copy_from_slice(st.c.row(0));
+                }
+                cell.forward_batch_into(obs_buf.view(), prev, lstm);
+                for (r, st) in states.iter_mut().enumerate() {
+                    st.h.row_mut(0).copy_from_slice(lstm.h_new().row(r));
+                    st.c.row_mut(0).copy_from_slice(lstm.c_new().row(r));
+                }
+                for (r, row) in obs.iter().enumerate() {
+                    steps.push(PolicyStep {
+                        obs: Matrix::row_from_slice(row),
+                        features: Matrix::row_from_slice(lstm.h_new().row(r)),
+                        lstm_cache: Some(lstm.row_cache(r, prev)),
+                        probs: Vec::with_capacity(self.heads.len()),
+                        actions: Vec::with_capacity(self.heads.len()),
+                        log_prob: 0.0,
+                    });
+                }
+                lstm.h_new()
+            }
+            Backbone::Mlp(l1) => {
+                l1.forward_batch_into(obs_buf.view(), features);
+                features.map_assign(f32::tanh);
+                for (r, row) in obs.iter().enumerate() {
+                    steps.push(PolicyStep {
+                        obs: Matrix::row_from_slice(row),
+                        features: Matrix::row_from_slice(features.row(r)),
+                        lstm_cache: None,
+                        probs: Vec::with_capacity(self.heads.len()),
+                        actions: Vec::with_capacity(self.heads.len()),
+                        log_prob: 0.0,
+                    });
+                }
+                features
+            }
+        };
+        for head in &self.heads {
+            head.forward_batch_into(feat.view(), logits);
+            softmax_into(logits, probs);
+            for (r, step) in steps.iter_mut().enumerate() {
+                let prow = probs.row(r);
+                let a = sample_categorical(prow, rngs[r]);
+                step.log_prob += prow[a].max(1e-12).ln();
+                step.probs.push(prow.to_vec());
+                step.actions.push(a);
+            }
+        }
+        steps
+    }
+
+    /// `T×hidden` features for a recorded episode under the *current*
+    /// parameters: one stacked GEMM for the MLP backbone, stateful per-step
+    /// forwards for the RNN.
+    fn episode_features(&self, steps: &[PolicyStep]) -> Matrix {
+        match &self.backbone {
+            Backbone::Mlp(l1) => {
+                let mut stacked = Matrix::zeros(steps.len(), self.obs_dim);
+                for (t, step) in steps.iter().enumerate() {
+                    stacked.row_mut(t).copy_from_slice(step.obs.row(0));
+                }
+                let mut f = l1.forward(&stacked);
+                f.map_assign(f32::tanh);
+                f
+            }
+            Backbone::Rnn(cell) => {
+                let mut state = self.initial_state();
+                let mut feats = Matrix::zeros(steps.len(), self.hidden);
+                for (t, step) in steps.iter().enumerate() {
+                    let (next, _) = cell.forward(&step.obs, &state);
+                    feats.row_mut(t).copy_from_slice(next.h.row(0));
+                    state = next;
+                }
+                feats
+            }
+        }
+    }
+
     /// Recomputes `log π(a|s)` and per-head probabilities for a recorded
     /// episode under the *current* parameters (needed by PPO's ratio).
-    /// Returns one `(log_prob, probs)` pair per step.
+    /// Returns one `(log_prob, probs)` pair per step. Head forwards run as
+    /// single `T`-row GEMMs over the episode.
     pub fn replay_log_probs(&self, steps: &[PolicyStep]) -> Vec<(f32, Vec<Vec<f32>>)> {
-        let mut state = self.initial_state();
-        steps
+        if steps.is_empty() {
+            return Vec::new();
+        }
+        let feats = self.episode_features(steps);
+        let mut out: Vec<(f32, Vec<Vec<f32>>)> = steps
             .iter()
-            .map(|step| {
-                let (features, _) = self.features(&step.obs, &mut state);
-                let mut lp = 0.0;
-                let mut all_probs = Vec::with_capacity(self.heads.len());
-                for (head, &a) in self.heads.iter().zip(&step.actions) {
-                    let p = softmax(&head.forward(&features));
-                    lp += p.get(0, a).max(1e-12).ln();
-                    all_probs.push(p.row(0).to_vec());
-                }
-                (lp, all_probs)
-            })
-            .collect()
+            .map(|_| (0.0, Vec::with_capacity(self.heads.len())))
+            .collect();
+        for (h, head) in self.heads.iter().enumerate() {
+            let p = softmax(&head.forward(&feats));
+            for (t, entry) in out.iter_mut().enumerate() {
+                let a = steps[t].actions[h];
+                entry.0 += p.get(t, a).max(1e-12).ln();
+                entry.1.push(p.row(t).to_vec());
+            }
+        }
+        out
     }
 
     /// Backpropagates a policy-gradient loss through the whole episode:
@@ -184,57 +321,76 @@ impl PolicyNet {
         ratio_scale: Option<&[f32]>,
     ) {
         assert_eq!(steps.len(), coefs.len(), "one coefficient per step");
-        // dL/d features per step, computed head-by-head.
-        let mut dfeatures: Vec<Matrix> = Vec::with_capacity(steps.len());
+        if steps.is_empty() {
+            return;
+        }
+        let t_len = steps.len();
+        // The episode's decision-time features stacked `T×hidden`: each
+        // head's backward is then one T-row GEMM pair instead of T matvecs.
+        // Gradients must be zero on entry (every caller pairs this with
+        // `apply_update`); with zeroed accumulators the batched per-element
+        // ascending-t sums are bit-identical to the per-step adds.
+        let mut feats = Matrix::zeros(t_len, self.hidden);
         for (t, step) in steps.iter().enumerate() {
-            let mut dfeat = Matrix::zeros(1, self.hidden);
-            for (h, head) in self.heads.iter_mut().enumerate() {
+            feats.row_mut(t).copy_from_slice(step.features.row(0));
+        }
+        let mut dfeat_total = Matrix::zeros(t_len, self.hidden);
+        let mut dlogits = Matrix::default();
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let n = head.output_dim();
+            dlogits.reset_to(t_len, n);
+            for t in 0..t_len {
                 let probs: &[f32] = match probs_override {
                     Some(all) => &all[t][h],
-                    None => &step.probs[h],
+                    None => &steps[t].probs[h],
                 };
-                let a = step.actions[h];
+                let a = steps[t].actions[h];
                 let scale = ratio_scale.map_or(1.0, |r| r[t]);
-                let n = probs.len();
-                // d/dlogits of coef·(−logπ(a)) = coef·(p − onehot(a)).
-                let mut dlogits = Matrix::zeros(1, n);
-                for j in 0..n {
+                // d(−βH)/dlogit_j needs H(π); a pure function of the row,
+                // hoisted out of the j loop.
+                let ent = if entropy_beta > 0.0 {
+                    categorical_entropy(probs)
+                } else {
+                    0.0
+                };
+                for (j, &p) in probs.iter().enumerate() {
                     let onehot = if j == a { 1.0 } else { 0.0 };
-                    let mut g = coefs[t] * scale * (probs[j] - onehot);
+                    // d/dlogits of coef·(−logπ(a)) = coef·(p − onehot(a)).
+                    let mut g = coefs[t] * scale * (p - onehot);
                     if entropy_beta > 0.0 {
-                        // d(−βH)/dlogit_j = β·p_j·(ln p_j + H).
-                        let ent = categorical_entropy(probs);
-                        g += entropy_beta * probs[j] * (probs[j].max(1e-12).ln() + ent);
+                        g += entropy_beta * p * (p.max(1e-12).ln() + ent);
                     }
-                    dlogits.set(0, j, g);
+                    dlogits.set(t, j, g);
                 }
-                let dfeat_h = head.backward(&step.features, &dlogits);
-                dfeat = dfeat.add(&dfeat_h);
             }
-            dfeatures.push(dfeat);
+            let dfeat_h = head.backward(&feats, &dlogits);
+            dfeat_total.add_assign(&dfeat_h);
         }
-        // Backbone backward (BPTT for the RNN, independent steps for MLP).
+        // Backbone backward (BPTT for the RNN, one stacked GEMM for MLP).
         match &mut self.backbone {
             Backbone::Rnn(cell) => {
                 let mut dh = Matrix::zeros(1, self.hidden);
                 let mut dc = Matrix::zeros(1, self.hidden);
-                for (step, dfeat) in steps.iter().zip(&dfeatures).rev() {
+                for (t, step) in steps.iter().enumerate().rev() {
                     let cache = step
                         .lstm_cache
                         .as_ref()
                         .expect("RNN policy steps carry an LSTM cache");
-                    let dh_total = dh.add(dfeat);
-                    let (_dx, dh_prev, dc_prev) = cell.backward(cache, &dh_total, &dc);
+                    let dfeat = Matrix::row_from_slice(dfeat_total.row(t));
+                    let dh_total = dh.add(&dfeat);
+                    let (_dx, dh_prev, dc_prev) = cell.backward(&step.obs, cache, &dh_total, &dc);
                     dh = dh_prev;
                     dc = dc_prev;
                 }
             }
             Backbone::Mlp(l1) => {
-                for (step, dfeat) in steps.iter().zip(&dfeatures) {
-                    // tanh derivative through the cached activated features.
-                    let dpre = dfeat.hadamard(&step.features.map(|v| 1.0 - v * v));
-                    l1.backward(&step.obs, &dpre);
+                // tanh derivative through the cached activated features.
+                let dpre = dfeat_total.hadamard(&feats.map(|v| 1.0 - v * v));
+                let mut stacked_obs = Matrix::zeros(t_len, self.obs_dim);
+                for (t, step) in steps.iter().enumerate() {
+                    stacked_obs.row_mut(t).copy_from_slice(step.obs.row(0));
                 }
+                l1.backward(&stacked_obs, &dpre);
             }
         }
     }

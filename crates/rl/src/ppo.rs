@@ -1,7 +1,7 @@
 use tinynn::{Activation, Adam, Matrix, Mlp, Rng};
 
 use crate::{
-    collect_vec_rollout, discounted_returns, standardize, Agent, Env, EpochReport,
+    collect_vec_rollout, discounted_returns, stack_rows, standardize, Agent, Env, EpochReport,
     PolicyBackboneKind, PolicyNet, PolicyStep, VecEnv,
 };
 
@@ -90,11 +90,13 @@ impl Ppo {
     fn update_from_buffer(&mut self) {
         for _pass in 0..self.config.update_epochs {
             for ep in &self.buffer {
-                // Advantages under the current critic.
+                // Advantages under the current critic: one batched forward
+                // over the episode (bit-identical to T single-row calls).
+                let stacked_obs = stack_rows(&ep.observations);
+                let values = self.critic.infer(&stacked_obs);
                 let mut advantages = Vec::with_capacity(ep.returns.len());
-                for (o, &g) in ep.observations.iter().zip(&ep.returns) {
-                    let v = self.critic.infer(&Matrix::row_from_slice(o)).get(0, 0);
-                    advantages.push(g - v);
+                for (t, &g) in ep.returns.iter().enumerate() {
+                    advantages.push(g - values.get(t, 0));
                 }
                 let advantages = if advantages.len() == 1 {
                     vec![advantages[0].clamp(-10.0, 10.0)]
@@ -136,15 +138,17 @@ impl Ppo {
                 self.policy
                     .apply_update(&mut self.actor_opt, self.config.max_grad_norm);
 
-                // Critic regression to Monte-Carlo returns.
+                // Critic regression to Monte-Carlo returns, batched: the
+                // gradient sum over timesteps accumulates in the same
+                // ascending-t order as the per-step loop.
                 self.critic.zero_grad();
-                for (o, &g) in ep.observations.iter().zip(&ep.returns) {
-                    let x = Matrix::row_from_slice(o);
-                    let (v, cache) = self.critic.forward(&x);
-                    let err = v.get(0, 0) - g;
-                    let dout = Matrix::from_vec(1, 1, vec![2.0 * err / ep.returns.len() as f32]);
-                    self.critic.backward(&cache, &dout);
+                let (v, cache) = self.critic.forward(&stacked_obs);
+                let mut dout = Matrix::zeros(ep.returns.len(), 1);
+                for (t, &g) in ep.returns.iter().enumerate() {
+                    let err = v.get(t, 0) - g;
+                    dout.row_mut(t)[0] = 2.0 * err / ep.returns.len() as f32;
                 }
+                self.critic.backward(&cache, &dout);
                 let mut cparams = self.critic.params_mut();
                 tinynn::clip_global_grad_norm(&mut cparams, self.config.max_grad_norm);
                 self.critic_opt.step(&mut cparams);

@@ -10,7 +10,7 @@
 
 use tinynn::{LstmState, Rng};
 
-use crate::{Env, PolicyNet, PolicyStep, Step};
+use crate::{Env, PolicyNet, PolicyScratch, PolicyStep, Step};
 
 /// N replicas of an episodic MDP stepped in lockstep.
 ///
@@ -248,6 +248,12 @@ pub struct VecRollout {
 /// With `rngs.len() == 1` this performs exactly the same operations, in
 /// the same order, as the serial per-episode loop in `Agent::train_epoch`
 /// — that is the `n_envs = 1` bit-identity guarantee.
+///
+/// Each synchronized step runs **one** batched backbone+head forward over
+/// the live replicas ([`PolicyNet::act_batch`]): policy weights stream
+/// through cache once per step instead of once per replica, and replica
+/// `i` still samples from `rngs[i]` alone, so per-replica results stay
+/// bit-identical to serial `policy.act` calls.
 pub fn collect_vec_rollout(
     policy: &PolicyNet,
     venv: &mut dyn VecEnv,
@@ -265,14 +271,28 @@ pub fn collect_vec_rollout(
         steps: (0..k).map(|_| Vec::with_capacity(horizon)).collect(),
         rewards: (0..k).map(|_| Vec::with_capacity(horizon)).collect(),
     };
+    let mut scratch = PolicyScratch::new();
+    let mut live: Vec<usize> = Vec::with_capacity(k);
     while alive.iter().any(|&a| a) {
+        live.clear();
+        live.extend((0..k).filter(|&i| alive[i]));
+        let obs_refs: Vec<&[f32]> = live.iter().map(|&i| obs[i].as_slice()).collect();
+        let mut state_refs: Vec<&mut LstmState> = states
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| alive[*i])
+            .map(|(_, s)| s)
+            .collect();
+        let mut rng_refs: Vec<&mut Rng> = rngs
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| alive[*i])
+            .map(|(_, r)| r)
+            .collect();
+        let steps = policy.act_batch(&obs_refs, &mut state_refs, &mut rng_refs, &mut scratch);
         let mut actions: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for i in 0..k {
-            if !alive[i] {
-                continue;
-            }
+        for (&i, step) in live.iter().zip(steps) {
             rollout.observations[i].push(obs[i].clone());
-            let step = policy.act(&obs[i], &mut states[i], &mut rngs[i]);
             actions[i] = step.actions.clone();
             rollout.steps[i].push(step);
         }

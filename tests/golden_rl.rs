@@ -33,10 +33,25 @@ const GOLDEN: [(AlgorithmKind, Option<f64>); 7] = [
     (AlgorithmKind::Reinforce, Some(146432.625)),
 ];
 
-/// Fixed-seed best cost of the vectorized REINFORCE path at `n_envs = 4`
-/// (different from the serial value — four independent RNG streams — but
-/// just as locked-in).
-const GOLDEN_REINFORCE_VEC4: Option<f64> = Some(175296.625);
+/// Fixed-seed best cost of every vec-capable algorithm through
+/// `run_rl_search_vec`, at a small and a large replica count. The values
+/// differ from the serial table — each replica draws from its own RNG
+/// stream — but are just as locked-in: they exercise the batched
+/// `act_batch` forward, the batched critic regression, and the replica
+/// scatter/gather in `collect_vec_rollout`, so a drift here that leaves
+/// the serial table intact points at the vectorized path specifically.
+/// The REINFORCE `n_envs = 4` entry predates the GEMM-shaped batching
+/// and has never been re-pinned.
+const GOLDEN_VEC: [(AlgorithmKind, usize, Option<f64>); 8] = [
+    (AlgorithmKind::Reinforce, 4, Some(175296.625)),
+    (AlgorithmKind::Reinforce, 64, Some(140160.0)),
+    (AlgorithmKind::A2c, 4, Some(137815.0)),
+    (AlgorithmKind::A2c, 64, Some(140160.0)),
+    (AlgorithmKind::Acktr, 4, Some(162304.625)),
+    (AlgorithmKind::Acktr, 64, Some(140160.0)),
+    (AlgorithmKind::Ppo2, 4, Some(151831.0)),
+    (AlgorithmKind::Ppo2, 64, Some(140160.0)),
+];
 
 fn tiny_problem() -> HwProblem {
     HwProblem::builder(dnn_models::tiny_cnn())
@@ -70,19 +85,30 @@ fn table5_algorithms_match_golden_best_costs() {
 }
 
 #[test]
-fn vectorized_reinforce_matches_golden_best_cost() {
-    let r = run_rl_search_vec(
-        &tiny_problem(),
-        AlgorithmKind::Reinforce,
-        SearchBudget { epochs: EPOCHS },
-        SEED,
-        4,
-    );
-    assert_eq!(
-        r.best_cost().map(f64::to_bits),
-        GOLDEN_REINFORCE_VEC4.map(f64::to_bits),
-        "vectorized (n_envs=4) REINFORCE drifted: got {:?}, golden {:?}",
-        r.best_cost(),
-        GOLDEN_REINFORCE_VEC4
+fn vectorized_algorithms_match_golden_best_costs() {
+    let mut drifted = Vec::new();
+    for (kind, n_envs, expected) in GOLDEN_VEC {
+        let r = run_rl_search_vec(
+            &tiny_problem(),
+            kind,
+            SearchBudget { epochs: EPOCHS },
+            SEED,
+            n_envs,
+        );
+        if r.best_cost().map(f64::to_bits) != expected.map(f64::to_bits) {
+            drifted.push(format!(
+                "{} (n_envs={}): got {:?}, golden {:?}",
+                kind.name(),
+                n_envs,
+                r.best_cost(),
+                expected
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "vectorized fixed-seed results drifted (update the constants in \
+         this file in the same commit if the change is intentional):\n  {}",
+        drifted.join("\n  ")
     );
 }
